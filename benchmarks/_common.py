@@ -1,0 +1,74 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables or figures at a
+scaled-down size (see DESIGN.md §2 and ``repro.analysis.calibration``).
+Set ``REPRO_BENCH_SCALE=large`` for bigger meshes/iteration counts (closer
+to the paper's axes, several times slower).
+
+Benchmarks print the same rows/series the paper reports; run with
+``pytest benchmarks/ --benchmark-only -s`` to see them.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.analysis.calibration import (
+    scaled_epyc,
+    scaled_gcc,
+    scaled_llvm,
+    scaled_mpc,
+    scaled_skylake,
+)
+from repro.apps.lulesh import LuleshConfig
+
+#: ``small`` (default, CI-sized) or ``large``.
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+if SCALE not in ("small", "large"):
+    raise ValueError(f"REPRO_BENCH_SCALE must be 'small' or 'large', got {SCALE!r}")
+
+LARGE = SCALE == "large"
+
+
+@dataclass(frozen=True)
+class LuleshBench:
+    """The standard intra-node LULESH experiment (Figs. 1/2/6, Tables 1/2)."""
+
+    s: int = 64 if LARGE else 48
+    iterations: int = 16 if LARGE else 8
+    flops_per_item: float = 25.0
+    #: TPL ladder — the x-axis of Figs. 1/2/6 (paper: 48..4608).
+    tpls: tuple[int, ...] = (
+        (4, 8, 16, 32, 64, 96, 128, 192, 256, 384, 512)
+        if LARGE
+        else (4, 8, 16, 32, 64, 96, 128, 192, 256)
+    )
+    #: The TPL used for Table 1 / Table 2 style single-point studies
+    #: (the paper uses its best TPL, 1872).
+    tpl_best: int = 96
+    #: The finest TPL (the paper's 4608).
+    tpl_finest: int = 256
+
+    def config(self, tpl: int) -> LuleshConfig:
+        return LuleshConfig(
+            s=self.s,
+            iterations=self.iterations,
+            tpl=tpl,
+            flops_per_item=self.flops_per_item,
+        )
+
+
+LULESH = LuleshBench()
+
+__all__ = [
+    "LARGE",
+    "LULESH",
+    "LuleshBench",
+    "SCALE",
+    "scaled_epyc",
+    "scaled_gcc",
+    "scaled_llvm",
+    "scaled_mpc",
+    "scaled_skylake",
+]

@@ -1,0 +1,59 @@
+"""Ablation (§3.2/§3.3): the persistent graph's implicit barrier.
+
+The paper reports that enabling (p) at the best TPL slightly *increases*
+total time (70.61s -> 75.71s) through work-time inflation and idleness —
+tasks of iteration n+1 cannot start until iteration n completes — while
+drastically cutting discovery, which is what unlocks finer grains (Fig 6).
+This bench quantifies the two sides at a TPL where discovery is cheap
+(barrier costs dominate) and at a fine TPL (discovery savings dominate).
+"""
+
+import sys
+
+sys.path.insert(0, "benchmarks")
+from _common import LULESH, scaled_mpc, scaled_skylake
+
+from repro.analysis.tables import render_table
+from repro.apps.lulesh import build_task_program
+from repro.runtime import TaskRuntime
+
+
+def barrier_experiment():
+    machine = scaled_skylake()
+    out = {}
+    for tpl in (LULESH.tpls[2], LULESH.tpl_best, LULESH.tpl_finest):
+        prog = build_task_program(LULESH.config(tpl), opt_a=True)
+        r_abc = TaskRuntime(prog, scaled_mpc(machine, opts="abc")).run()
+        r_p = TaskRuntime(prog, scaled_mpc(machine, opts="abcp")).run()
+        out[tpl] = (r_abc, r_p)
+    return out
+
+
+def test_ablation_persistent_barrier(benchmark):
+    out = benchmark.pedantic(barrier_experiment, rounds=1, iterations=1)
+    rows = []
+    for tpl, (r_abc, r_p) in out.items():
+        rows.append([
+            tpl,
+            f"{r_abc.makespan * 1e3:.2f}", f"{r_p.makespan * 1e3:.2f}",
+            f"{r_abc.discovery_busy * 1e3:.2f}", f"{r_p.discovery_busy * 1e3:.2f}",
+            f"{r_abc.idle_avg * 1e3:.2f}", f"{r_p.idle_avg * 1e3:.2f}",
+        ])
+    print()
+    print(render_table(
+        ["TPL", "abc total", "abcp total", "abc disc", "abcp disc",
+         "abc idle", "abcp idle"],
+        rows,
+        title="Persistent-barrier ablation (ms; paper: (p) adds idleness at "
+              "coarse grain, wins at fine grain)",
+    ))
+
+    coarse = out[list(out)[0]]
+    fine = out[list(out)[-1]]
+    # Discovery always wins with (p)...
+    for r_abc, r_p in out.values():
+        assert r_p.discovery_busy < r_abc.discovery_busy
+    # ...and the total gain materializes at fine grain, where the abc
+    # version is discovery-bound.
+    assert fine[1].makespan < fine[0].makespan
+    benchmark.extra_info["fine_gain"] = fine[0].makespan / fine[1].makespan

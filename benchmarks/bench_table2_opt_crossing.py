@@ -1,0 +1,70 @@
+"""Table 2: crossing the TDG discovery optimizations.
+
+Paper (TPL=1,872, ~2.9M tasks): edges fall from 94.0M (none) to 36.8M
+((a)+(b)+(c)); discovery from 83.4s to 32.1s; enabling persistence divides
+discovery by ~15 (2.12s, of which 0.86s is the first iteration).  The paper
+also observes that *faster* discovery can mean *more* edges materialized
+(less automatic pruning) — visible here too.
+"""
+
+import sys
+
+sys.path.insert(0, "benchmarks")
+from _common import LULESH, scaled_mpc, scaled_skylake
+
+from repro.analysis.tables import render_table
+from repro.apps.lulesh import build_task_program
+from repro.core import OptimizationSet
+from repro.runtime import TaskRuntime
+from repro.util.units import fmt_count
+
+SPECS = ("none", "a", "b", "c", "ab", "ac", "bc", "abc", "abcp")
+
+
+def table2_experiment():
+    machine = scaled_skylake()
+    cfg = LULESH.config(LULESH.tpl_best)
+    progs = {a: build_task_program(cfg, opt_a=a) for a in (False, True)}
+    out = {}
+    for spec in SPECS:
+        opts = OptimizationSet.parse("" if spec == "none" else spec)
+        r = TaskRuntime(progs[opts.a], scaled_mpc(machine, opts=opts)).run()
+        out[spec] = r
+    return out
+
+
+def test_table2_opt_crossing(benchmark):
+    out = benchmark.pedantic(table2_experiment, rounds=1, iterations=1)
+    rows = []
+    for spec, r in out.items():
+        rows.append([
+            spec,
+            fmt_count(r.edges.created),
+            fmt_count(r.edges.duplicates_skipped),
+            fmt_count(r.edges.pruned),
+            r.edges.redirect_nodes,
+            f"{r.discovery_busy * 1e3:.2f}",
+            f"{r.makespan * 1e3:.2f}",
+        ])
+    print()
+    print(render_table(
+        ["opts", "edges", "dup-skipped", "pruned", "redirects",
+         "discovery(ms)", "total(ms)"],
+        rows,
+        title=f"Table 2 (scaled): optimization crossing at TPL={LULESH.tpl_best}",
+    ))
+    d_none = out["none"].discovery_busy
+    d_abc = out["abc"].discovery_busy
+    d_p = out["abcp"].discovery_busy
+    print(f"discovery none -> abc: {d_none / d_abc:.2f}x (paper: 83.4/32.1 = 2.6x)")
+    print(f"discovery abc -> abcp: {d_abc / d_p:.2f}x (paper: 32.1/2.12 = 15x)")
+
+    benchmark.extra_info["speedup_abc"] = d_none / d_abc
+    benchmark.extra_info["speedup_p"] = d_abc / d_p
+
+    # Each runtime-side optimization must not slow discovery down, and the
+    # full stack must order none > abc > abcp.
+    assert out["abc"].discovery_busy < out["none"].discovery_busy
+    assert out["b"].discovery_busy <= out["none"].discovery_busy * 1.02
+    assert out["c"].discovery_busy <= out["none"].discovery_busy * 1.02
+    assert d_abc / d_p > 4.0

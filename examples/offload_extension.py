@@ -1,0 +1,53 @@
+"""The §7 future-work extension: TDG discovery impact on offloading.
+
+Offloads LULESH's element loops to the simulated accelerator and shows the
+paper's conjecture in action: slow TDG discovery starves the device streams
+the same way it starves CPU workers, and the persistent graph keeps the
+kernels back-to-back so device-resident data is reused instead of being
+re-transferred over the host link.
+
+Run:  python examples/offload_extension.py
+"""
+
+from repro.accel import AcceleratorSpec
+from repro.analysis import render_table, scaled_mpc, scaled_skylake
+from repro.analysis.calibration import COST_SCALE
+from repro.apps.lulesh import LuleshConfig, build_task_program
+from repro.runtime import TaskRuntime
+
+
+def main() -> None:
+    machine = scaled_skylake()
+    accel = AcceleratorSpec().scaled(COST_SCALE)
+    cfg = LuleshConfig(s=40, iterations=8, tpl=192, flops_per_item=25.0)
+
+    rows = []
+    for label, opts in (("none", ""), ("abc", "abc"), ("abcp", "abcp")):
+        prog = build_task_program(cfg, opt_a=opts.startswith("a"), offload=True)
+        rt = TaskRuntime(prog, scaled_mpc(machine, opts=opts, accelerator=accel))
+        res = rt.run()
+        st = rt.accelerator.stats
+        rows.append([
+            label,
+            f"{res.makespan * 1e3:.2f}",
+            f"{res.discovery_busy * 1e3:.2f}",
+            f"{100 * rt.accelerator.utilization(res.makespan):.0f}%",
+            f"{st.h2d_bytes / 1e6:.1f}",
+            st.resident_hits,
+        ])
+
+    print(render_table(
+        ["opts", "total(ms)", "discovery(ms)", "device util", "H2D(MB)",
+         "resident hits"],
+        rows,
+        title="LULESH element loops offloaded (fine grain, TPL=192)",
+    ))
+    print(
+        "\nfaster TDG discovery -> fuller device streams -> shorter totals;\n"
+        "the persistent graph also maximizes device-memory residency, the\n"
+        "offload analogue of the paper's L2-reuse story (§7)."
+    )
+
+
+if __name__ == "__main__":
+    main()

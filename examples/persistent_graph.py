@@ -1,0 +1,66 @@
+"""The persistent task sub-graph (optimization (p), §3.2) close up.
+
+Shows what the ``#pragma omp ptsg`` annotation buys: after the first
+iteration the producer only re-instances cached tasks (a firstprivate
+memcpy), and the implicit end-of-iteration barrier drops inter-iteration
+edges.  Also demonstrates the safety net: a structurally diverging
+iteration (the AMR case of §3.2 "Applicability") is detected.
+
+Run:  python examples/persistent_graph.py
+"""
+
+from repro import OptimizationSet, RuntimeConfig, TaskRuntime
+from repro.apps.cholesky import CholeskyConfig, build_task_programs
+from repro.core.persistent import PersistentStructureError
+from repro.core.program import IterationSpec, Program, TaskSpec
+from repro.core.task import DepMode
+from repro.memory import skylake_8168
+
+
+def discovery_ladder() -> None:
+    print("Cholesky factorizations of same-structure matrices (§4.4):")
+    print(f"{'factorizations':>15} {'discovery none':>15} {'discovery (p)':>14} {'speedup':>8}")
+    for iters in (1, 2, 4, 8, 16):
+        cfg = CholeskyConfig(n=2048, b=256, iterations=iters)
+        prog = build_task_programs(cfg)[0]
+        runs = {}
+        for opts in ("", "p"):
+            rc = RuntimeConfig(
+                machine=skylake_8168(), opts=OptimizationSet.parse(opts)
+            )
+            runs[opts] = TaskRuntime(prog, rc).run().discovery_busy
+        print(f"{iters:>15} {runs[''] * 1e3:>13.3f}ms {runs['p'] * 1e3:>12.3f}ms "
+              f"{runs[''] / runs['p']:>7.2f}x")
+    print("the speedup approaches its asymptote (paper: 5x) as the first\n"
+          "iteration's full discovery amortizes.\n")
+
+
+def structure_guard() -> None:
+    print("structure divergence detection (mesh refinement mid-run):")
+    stable = [TaskSpec(name="k", depends=((0, DepMode.INOUT),), flops=10.0)]
+    refined = [TaskSpec(name="k", depends=((1, DepMode.INOUT),), flops=10.0)]
+    prog = Program(
+        [IterationSpec(index=0, tasks=stable), IterationSpec(index=1, tasks=refined)],
+        persistent_candidate=True,
+    )
+    rt = TaskRuntime(
+        prog,
+        RuntimeConfig(machine=skylake_8168(), opts=OptimizationSet.parse("p")),
+    )
+    rt.start()
+    try:
+        rt.engine.run()
+    except PersistentStructureError as e:
+        print(f"  caught: {e}")
+        print("  an application doing AMR would rediscover the graph here\n"
+              "  (the paper notes AMR codes amortize refinement over many\n"
+              "  iterations, so persistence still pays off between refinements).")
+
+
+def main() -> None:
+    discovery_ladder()
+    structure_guard()
+
+
+if __name__ == "__main__":
+    main()

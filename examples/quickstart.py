@@ -1,0 +1,67 @@
+"""Quickstart: build a dependent-task program and simulate it.
+
+Shows the core loop of the library: describe tasks with OpenMP-style
+``depend`` clauses through :class:`ProgramBuilder`, pick a runtime
+configuration (machine, scheduler, discovery optimizations), simulate, and
+read the §2.3.1 time breakdown.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import OptimizationSet, ProgramBuilder, RuntimeConfig, TaskRuntime
+from repro.memory import skylake_8168
+from repro.profiler import breakdown_of
+
+
+def build_program(iterations: int = 8, width: int = 64) -> "Program":
+    """A producer/consumer pipeline: one head task fans out to ``width``
+    workers whose results a tail task reduces — repeated each iteration
+    with identical dependences (a persistent-TDG candidate)."""
+    b = ProgramBuilder("quickstart", persistent_candidate=True)
+    for _ in range(iterations):
+        with b.iteration():
+            b.task("head", out=["seed"], flops=20_000.0, fp_bytes=16)
+            for i in range(width):
+                b.task(
+                    f"work[{i}]",
+                    inp=["seed"],
+                    out=[("slot", i)],
+                    flops=150_000.0,
+                    footprint=((i, 64 * 1024),),
+                    fp_bytes=48,
+                )
+            b.task(
+                "reduce",
+                inp=[("slot", i) for i in range(width)],
+                flops=30_000.0,
+                fp_bytes=16,
+            )
+    return b.build()
+
+
+def main() -> None:
+    program = build_program()
+    print(f"program: {program.n_tasks} tasks over {program.n_iterations} iterations\n")
+
+    for opts in ("none", "abc", "abcp"):
+        config = RuntimeConfig(
+            machine=skylake_8168(),
+            opts=OptimizationSet.parse("" if opts == "none" else opts),
+            scheduler="lifo-df",
+        )
+        result = TaskRuntime(program, config).run()
+        bd = breakdown_of(result)
+        print(f"optimizations {opts:>4}: {bd}")
+        print(
+            f"    {result.edges.created} edges materialized, "
+            f"{result.edges.pruned} pruned, "
+            f"{result.edges.duplicates_skipped} duplicates skipped"
+        )
+    print(
+        "\nNote how (p) slashes the discovery time: after the first "
+        "iteration the producer only re-instances cached tasks (§3.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Accelerator offloading extension (paper §7 future work)."""
+
+from repro.accel.accelerator import Accelerator, AcceleratorSpec, AccelStats
+
+__all__ = ["Accelerator", "AcceleratorSpec", "AccelStats"]

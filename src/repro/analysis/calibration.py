@@ -1,0 +1,118 @@
+"""Paper-scaled experiment calibration.
+
+The paper's testbeds run minutes-long problems with millions of tasks; the
+reproduction runs seconds-long simulations with tens of thousands.  Two
+knobs keep the *shapes* comparable:
+
+1. **Cache scaling** — the paper's LULESH workset exceeds the L3 by orders
+   of magnitude (tens of GB vs 33 MB).  Scaled problems are tens of MB, so
+   the simulated caches shrink until ``workset / L3`` is again >> 1 and
+   per-task footprints sweep across the L2/L3 capacities over the TPL
+   range, which is what produces Fig. 2's work-time deflation.
+2. **Cost scaling** — per-task work shrinks with the mesh, so per-task
+   runtime costs (discovery, scheduling) are scaled by :data:`COST_SCALE`
+   to preserve the paper's discovery-to-execution ratio and hence the
+   position of the discovery-bound crossover on the TPL axis.
+
+Every scaled experiment in ``benchmarks/`` uses these helpers, so the
+mapping from paper axes to reproduction axes is in exactly one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.optimizations import OptimizationSet
+from repro.memory.machine import MachineSpec, epyc_7763_numa, skylake_8168
+from repro.runtime import presets
+from repro.mpi.network import NetworkSpec
+from repro.runtime.runtime import RuntimeConfig
+from repro.util.units import KiB, MiB
+
+#: Per-task runtime cost scale for downscaled problems (see module doc).
+COST_SCALE: float = 0.05
+
+
+def scaled_skylake(n_cores: int = 24) -> MachineSpec:
+    """Skylake node with caches shrunk for scaled worksets (~tens of MB)."""
+    return replace(
+        skylake_8168().with_cores(n_cores),
+        l1_bytes=4 * KiB,
+        l2_bytes=64 * KiB,
+        # Below one whole field group (~2.6 MB at s=48): mesh-wide loops
+        # cannot reuse across loops, exactly as at the paper's scale.
+        l3_bytes=1 * MiB,
+    )
+
+
+def scaled_epyc(n_cores: int = 16) -> MachineSpec:
+    """EPYC NUMA domain with caches shrunk for scaled worksets."""
+    return replace(
+        epyc_7763_numa().with_cores(n_cores),
+        l1_bytes=4 * KiB,
+        l2_bytes=48 * KiB,
+        l3_bytes=1 * MiB,
+    )
+
+
+def scaled_network(factor: float = COST_SCALE) -> NetworkSpec:
+    """Network with latencies scaled like the per-task costs.
+
+    Scaled problems have microsecond-scale iterations; an unscaled
+    interconnect would make communication artificially dominant, so its
+    fixed-cost terms shrink by the same factor (bandwidth terms already
+    scale with the smaller payloads).
+    """
+    from dataclasses import replace as _replace
+
+    from repro.mpi.network import bxi_like
+
+    net = bxi_like()
+    return _replace(
+        net,
+        latency=net.latency * factor,
+        allreduce_alpha=net.allreduce_alpha * factor,
+    )
+
+
+def scale_costs(config: RuntimeConfig, factor: float = COST_SCALE) -> RuntimeConfig:
+    """Scale a runtime config's per-task costs (discovery + scheduling)."""
+    return replace(
+        config,
+        discovery=config.discovery.scaled(factor),
+        sched=config.sched.scaled(factor),
+    )
+
+
+def scaled_mpc(
+    machine: MachineSpec | None = None,
+    *,
+    opts: OptimizationSet | str = "abc",
+    factor: float = COST_SCALE,
+    **overrides,
+) -> RuntimeConfig:
+    """MPC-OMP preset with scaled costs — the workhorse of the benches."""
+    cfg = presets.mpc_omp(machine if machine is not None else scaled_skylake(), opts=opts, **overrides)
+    return scale_costs(cfg, factor)
+
+
+def scaled_llvm(
+    machine: MachineSpec | None = None,
+    *,
+    factor: float = COST_SCALE,
+    **overrides,
+) -> RuntimeConfig:
+    """LLVM preset with scaled costs."""
+    cfg = presets.llvm_like(machine if machine is not None else scaled_skylake(), **overrides)
+    return scale_costs(cfg, factor)
+
+
+def scaled_gcc(
+    machine: MachineSpec | None = None,
+    *,
+    factor: float = COST_SCALE,
+    **overrides,
+) -> RuntimeConfig:
+    """GCC preset with scaled costs."""
+    cfg = presets.gcc_like(machine if machine is not None else scaled_skylake(), **overrides)
+    return scale_costs(cfg, factor)

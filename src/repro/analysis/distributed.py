@@ -1,0 +1,95 @@
+"""Distributed LULESH/HPCG cluster-run helpers (Figs. 7, 8, 9)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Optional
+
+from repro.analysis.calibration import scaled_epyc, scaled_mpc, scale_costs
+from repro.apps import hpcg as hpcg_app
+from repro.apps import lulesh as lulesh_app
+from repro.cluster.cluster import Cluster, ClusterResult
+from repro.cluster.mapping import RankGrid
+from repro.core.optimizations import OptimizationSet
+from repro.mpi.network import NetworkSpec, bxi_like
+from repro.runtime.runtime import RuntimeConfig
+
+
+def run_lulesh_cluster(
+    grid: RankGrid,
+    cfg: lulesh_app.LuleshConfig,
+    *,
+    task_based: bool = True,
+    opts: OptimizationSet | str = "abc",
+    base_config: Optional[RuntimeConfig] = None,
+    network: Optional[NetworkSpec] = None,
+    profiled_rank: Optional[int] = None,
+    n_threads: Optional[int] = None,
+) -> ClusterResult:
+    """Run LULESH on every rank of ``grid`` (task-based or parallel-for).
+
+    Only ``profiled_rank`` (default: an interior rank, like the paper's
+    rank 82) records a full task trace, keeping memory bounded.
+    """
+    if isinstance(opts, str):
+        opts = OptimizationSet.parse(opts)
+    if profiled_rank is None:
+        profiled_rank = grid.interior_rank()
+    if base_config is None:
+        base_config = scaled_mpc(scaled_epyc(), opts=opts, n_threads=n_threads)
+    else:
+        base_config = replace(base_config, opts=opts)
+
+    programs = []
+    configs = []
+    for r in range(grid.n_ranks):
+        nbs = grid.neighbors(r)
+        if task_based:
+            programs.append(
+                lulesh_app.build_task_program(cfg, opt_a=opts.a, neighbors=nbs)
+            )
+        else:
+            programs.append(lulesh_app.build_for_program(cfg, neighbors=nbs))
+        configs.append(replace(base_config, trace=(r == profiled_rank)))
+
+    cluster = Cluster(grid.n_ranks, network=network if network is not None else bxi_like())
+    out = cluster.run(programs, configs)
+    out.results[profiled_rank].extra["profiled"] = True
+    return out
+
+
+def run_hpcg_cluster(
+    grid: RankGrid,
+    cfg: hpcg_app.HpcgConfig,
+    *,
+    task_based: bool = True,
+    opts: OptimizationSet | str = "abc",
+    base_config: Optional[RuntimeConfig] = None,
+    network: Optional[NetworkSpec] = None,
+    profiled_rank: Optional[int] = None,
+    n_threads: Optional[int] = None,
+) -> ClusterResult:
+    """Run HPCG on every rank of ``grid``."""
+    if isinstance(opts, str):
+        opts = OptimizationSet.parse(opts)
+    if profiled_rank is None:
+        profiled_rank = grid.interior_rank()
+    if base_config is None:
+        base_config = scaled_mpc(opts=opts, n_threads=n_threads)
+    else:
+        base_config = replace(base_config, opts=opts)
+
+    programs = []
+    configs = []
+    for r in range(grid.n_ranks):
+        nbs = grid.neighbors(r)
+        if task_based:
+            programs.append(hpcg_app.build_task_program(cfg, neighbors=nbs))
+        else:
+            programs.append(hpcg_app.build_for_program(cfg, neighbors=nbs))
+        configs.append(replace(base_config, trace=(r == profiled_rank)))
+
+    cluster = Cluster(grid.n_ranks, network=network if network is not None else bxi_like())
+    out = cluster.run(programs, configs)
+    out.results[profiled_rank].extra["profiled"] = True
+    return out

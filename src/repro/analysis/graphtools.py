@@ -1,0 +1,114 @@
+"""TDG shape analytics (networkx-backed).
+
+The paper reasons about the *shape* of the discovered graph — its depth
+(the critical path the depth-first scheduler descends), its width (how much
+parallelism throttling may hide), and its average parallelism.  These
+helpers turn a discovered :class:`~repro.core.graph.TaskGraph` into a
+:mod:`networkx` DAG and compute those quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import networkx as nx
+
+from repro.core.graph import TaskGraph
+from repro.core.task import Task
+
+
+def to_networkx(graph: TaskGraph, *, include_stubs: bool = True) -> nx.DiGraph:
+    """Materialize the TDG as a ``networkx.DiGraph``.
+
+    Nodes are task ids with attributes ``name``, ``loop``, ``flops`` and
+    ``stub``; parallel (duplicate) edges collapse — use the graph's own
+    :class:`~repro.core.graph.EdgeStats` for multiplicity accounting.
+    """
+    g = nx.DiGraph()
+    for t in graph.tasks:
+        if t.is_stub and not include_stubs:
+            continue
+        g.add_node(
+            t.tid, name=t.name, loop=t.loop_id, flops=t.flops, stub=t.is_stub
+        )
+    for pred, succ in graph.iter_edges():
+        if not include_stubs and (pred.is_stub or succ.is_stub):
+            continue
+        g.add_edge(pred.tid, succ.tid)
+    return g
+
+
+@dataclass(frozen=True, slots=True)
+class GraphShape:
+    """Summary shape metrics of a discovered TDG."""
+
+    n_tasks: int
+    n_edges: int
+    #: Longest path length in tasks (depth of the DAG).
+    depth: int
+    #: Total weight along the weighted critical path.
+    critical_path_weight: float
+    #: Total weight over all tasks.
+    total_weight: float
+    #: total / critical-path weight: the graph's average parallelism —
+    #: an upper bound on speedup (Brent's bound).
+    avg_parallelism: float
+
+    def __str__(self) -> str:
+        return (
+            f"tasks={self.n_tasks} edges={self.n_edges} depth={self.depth} "
+            f"T1={self.total_weight:.4g} Tinf={self.critical_path_weight:.4g} "
+            f"avg-parallelism={self.avg_parallelism:.1f}"
+        )
+
+
+def analyze_shape(
+    graph: TaskGraph,
+    *,
+    weight: Optional[Callable[[Task], float]] = None,
+) -> GraphShape:
+    """Compute the shape metrics of a TDG.
+
+    ``weight`` maps a task to its cost (default: ``flops``, with stubs at
+    zero); ``T1/Tinf`` is the classic work/span ratio.
+    """
+    if weight is None:
+        weight = lambda t: 0.0 if t.is_stub else float(t.flops)
+    weights = {t.tid: weight(t) for t in graph.tasks}
+    g = to_networkx(graph)
+    if len(g) == 0:
+        return GraphShape(0, 0, 0, 0.0, 0.0, 0.0)
+
+    # Longest weighted path via one topological pass.
+    depth: dict[int, int] = {}
+    span: dict[int, float] = {}
+    for nid in nx.topological_sort(g):
+        preds = list(g.predecessors(nid))
+        depth[nid] = 1 + max((depth[p] for p in preds), default=0)
+        span[nid] = weights[nid] + max((span[p] for p in preds), default=0.0)
+    total = sum(weights.values())
+    tinf = max(span.values())
+    return GraphShape(
+        n_tasks=len(g),
+        n_edges=g.number_of_edges(),
+        depth=max(depth.values()),
+        critical_path_weight=tinf,
+        total_weight=total,
+        avg_parallelism=(total / tinf) if tinf > 0 else 0.0,
+    )
+
+
+def width_profile(graph: TaskGraph) -> list[int]:
+    """Tasks per depth level — the breadth the scheduler could exploit."""
+    g = to_networkx(graph)
+    levels: dict[int, int] = {}
+    for nid in nx.topological_sort(g):
+        preds = list(g.predecessors(nid))
+        levels[nid] = 1 + max((levels[p] for p in preds), default=0)
+    if not levels:
+        return []
+    out = [0] * max(levels.values())
+    for lvl in levels.values():
+        out[lvl - 1] += 1
+    return out

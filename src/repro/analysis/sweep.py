@@ -1,0 +1,128 @@
+"""TPL sweeps: the x-axis of Figs. 1, 2, 6, 7 and 9.
+
+A sweep runs the same workload at increasing Tasks-Per-Loop and collects
+the series the paper plots: total/execution/discovery time, the
+work/idle/overhead breakdown, per-task grain, task/edge counts, cache-miss
+counters and work-time inflation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.program import Program
+from repro.runtime.result import RunResult
+from repro.runtime.runtime import RuntimeConfig, TaskRuntime
+
+
+@dataclass
+class SweepPoint:
+    """One TPL instance of a sweep."""
+
+    tpl: int
+    result: RunResult
+
+    # Convenience projections -------------------------------------------
+    @property
+    def total(self) -> float:
+        return self.result.makespan
+
+    @property
+    def execution(self) -> float:
+        return self.result.execution_time
+
+    @property
+    def discovery(self) -> float:
+        return self.result.discovery_busy
+
+    @property
+    def work_avg(self) -> float:
+        return self.result.work_avg
+
+    @property
+    def idle_avg(self) -> float:
+        return self.result.idle_avg
+
+    @property
+    def overhead_avg(self) -> float:
+        return self.result.overhead_avg
+
+    @property
+    def grain(self) -> float:
+        """Average task grain in seconds (work per task)."""
+        return self.result.work_per_task
+
+    @property
+    def n_tasks(self) -> int:
+        return self.result.n_tasks
+
+    @property
+    def n_edges(self) -> int:
+        return self.result.edges.created
+
+
+@dataclass
+class Sweep:
+    """A completed TPL sweep."""
+
+    points: list[SweepPoint]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ValueError("a sweep needs at least one point")
+
+    # ------------------------------------------------------------------
+    @property
+    def tpls(self) -> list[int]:
+        return [p.tpl for p in self.points]
+
+    def series(self, attr: str) -> list[float]:
+        """Extract one metric across the sweep (by SweepPoint property)."""
+        return [float(getattr(p, attr)) for p in self.points]
+
+    def best(self, attr: str = "total") -> SweepPoint:
+        """The point minimizing ``attr`` (the paper's "best TPL")."""
+        return min(self.points, key=lambda p: getattr(p, attr))
+
+    def work_inflation(self) -> list[float]:
+        """Per-point work time relative to the least-inflated point (Fig 2d)."""
+        w = np.array(self.series("work_avg"))
+        ref = w.min()
+        if ref <= 0:
+            return [1.0] * len(w)
+        return list(w / ref)
+
+    def crossover_tpl(self) -> Optional[int]:
+        """First TPL where discovery exceeds execution (discovery-bound)."""
+        for p in self.points:
+            if p.discovery >= p.execution:
+                return p.tpl
+        return None
+
+
+def run_sweep(
+    tpls: Sequence[int],
+    program_factory: Callable[[int], Program],
+    config_factory: Callable[[int], RuntimeConfig],
+) -> Sweep:
+    """Run one simulation per TPL value."""
+    points = []
+    for tpl in tpls:
+        prog = program_factory(tpl)
+        cfg = config_factory(tpl)
+        res = TaskRuntime(prog, cfg).run()
+        points.append(SweepPoint(tpl=tpl, result=res))
+    return Sweep(points)
+
+
+def geometric_tpls(lo: int, hi: int, n: int = 10) -> list[int]:
+    """A geometric TPL ladder, deduplicated and sorted."""
+    if lo < 1 or hi < lo or n < 1:
+        raise ValueError(f"bad ladder spec lo={lo} hi={hi} n={n}")
+    vals = np.unique(
+        np.round(np.geomspace(lo, hi, n)).astype(int)
+    )
+    return [int(v) for v in vals]

@@ -1,0 +1,94 @@
+"""ASCII table and curve rendering for benchmark reports.
+
+Benches print the same rows/series the paper's tables and figures report;
+these helpers keep the formatting uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    title: str | None = None,
+    align_right: bool = True,
+) -> str:
+    """Render a monospace table with separators."""
+    rows = [[str(c) for c in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row!r}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for c, w in zip(cells, widths):
+            parts.append(c.rjust(w) if align_right else c.ljust(w))
+        return "| " + " | ".join(parts) + " |"
+
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend([sep, fmt_row(headers), sep])
+    lines.extend(fmt_row(r) for r in rows)
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def render_series(
+    x: Sequence[float],
+    series: dict[str, Sequence[float]],
+    *,
+    width: int = 64,
+    height: int = 12,
+    title: str | None = None,
+    x_label: str = "x",
+) -> str:
+    """Poor-man's line plot: one glyph per series on a character grid.
+
+    Good enough to eyeball the crossovers the paper's figures show.
+    """
+    if not x:
+        return "(empty series)"
+    glyphs = "*o+x#@%&"
+    all_y = [v for ys in series.values() for v in ys]
+    lo, hi = min(all_y), max(all_y)
+    if hi <= lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    xlo, xhi = min(x), max(x)
+    xspan = (xhi - xlo) or 1.0
+    for si, (name, ys) in enumerate(series.items()):
+        g = glyphs[si % len(glyphs)]
+        for xi, yi in zip(x, ys):
+            col = int((xi - xlo) / xspan * (width - 1))
+            row = height - 1 - int((yi - lo) / (hi - lo) * (height - 1))
+            grid[row][col] = g
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"  y in [{lo:.4g}, {hi:.4g}]")
+    for row in grid:
+        lines.append("  |" + "".join(row) + "|")
+    lines.append("  +" + "-" * width + f"+  {x_label} in [{xlo:.4g}, {xhi:.4g}]")
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append("  " + legend)
+    return "\n".join(lines)
+
+
+def fmt_speedup(a: float, b: float) -> str:
+    """``a`` vs ``b`` as a 2-decimal speedup string (a/b)."""
+    if b == 0:
+        return "inf"
+    return f"{a / b:.2f}x"

@@ -1,0 +1,1 @@
+"""Workloads: LULESH proxy, HPCG, tile-based Cholesky."""

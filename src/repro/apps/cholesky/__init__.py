@@ -1,0 +1,7 @@
+"""Tile-based Cholesky factorization (§4.4)."""
+
+from repro.apps.cholesky.config import CholeskyConfig
+from repro.apps.cholesky.taskbased import build_task_programs
+from repro.apps.cholesky.numeric import NumericCholesky, random_spd
+
+__all__ = ["CholeskyConfig", "build_task_programs", "NumericCholesky", "random_spd"]

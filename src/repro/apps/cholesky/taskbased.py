@@ -1,0 +1,217 @@
+"""Distributed tile-based Cholesky task programs (§4.4).
+
+Right-looking tile Cholesky over a 2D block-cyclic distribution; tiles
+travel between ranks as detached Isend/Irecv tasks inserted in the TDG, as
+in the Schuchart et al. version the paper evaluates [6].  The dependency
+scheme is dense and regular — no duplicate edges, no ``inoutset`` — which
+is why optimizations (a)/(b)/(c) have no effect and only the persistent
+graph (p) pays off, and only on discovery time (<2% of total).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.apps.cholesky.config import CholeskyConfig
+from repro.core.program import CommKind, CommSpec, Program, TaskSpec
+from repro.core.task import Dep, DepMode
+
+
+class _Interner:
+    def __init__(self) -> None:
+        self._table: dict[object, int] = {}
+
+    def __call__(self, key: object) -> int:
+        t = self._table
+        v = t.get(key)
+        if v is None:
+            v = len(t)
+            t[key] = v
+        return v
+
+
+def _consumers_of_panel_tile(cfg: CholeskyConfig, i: int, k: int) -> set[int]:
+    """Ranks consuming A[i][k] during phase k's updates."""
+    out = set()
+    for j in range(k + 1, i + 1):
+        out.add(cfg.owner(i, j))
+    for l in range(i + 1, cfg.nt):
+        out.add(cfg.owner(l, i))
+    return out
+
+
+def build_task_programs(
+    cfg: CholeskyConfig,
+    *,
+    sync_iterations: bool = True,
+    name: str = "cholesky-task",
+) -> list[Program]:
+    """Build one task program per rank (all submit in the same global order).
+
+    ``sync_iterations`` appends a ``taskwait`` after each factorization:
+    iteratively decomposed matrices are consumed before the next one starts
+    (the realistic app structure, and what makes the §4.4 persistent-graph
+    comparison apples-to-apples — its implicit barrier does the same).
+    """
+    nt = cfg.nt
+    builders = [_RankBuilder(cfg, r) for r in range(cfg.n_ranks)]
+
+    for k in range(nt):
+        # --- panel factorization ---------------------------------------
+        diag_owner = cfg.owner(k, k)
+        trsm_owners = {cfg.owner(i, k) for i in range(k + 1, nt)}
+        builders[diag_owner].compute(
+            f"POTRF[{k}]", cfg.potrf_flops, reads=(), updates=((k, k),)
+        )
+        for dst in sorted(trsm_owners - {diag_owner}):
+            builders[diag_owner].send((k, k), k, dst)
+            builders[dst].recv((k, k), k, diag_owner)
+        for i in range(k + 1, nt):
+            o = cfg.owner(i, k)
+            builders[o].compute(
+                f"TRSM[{i},{k}]",
+                cfg.trsm_flops,
+                reads=((k, k),),
+                updates=((i, k),),
+                phase=k,
+            )
+            for dst in sorted(_consumers_of_panel_tile(cfg, i, k) - {o}):
+                builders[o].send((i, k), k, dst)
+                builders[dst].recv((i, k), k, o)
+        # --- trailing update -------------------------------------------
+        for i in range(k + 1, nt):
+            for j in range(k + 1, i + 1):
+                o = cfg.owner(i, j)
+                if j == i:
+                    builders[o].compute(
+                        f"SYRK[{i},{k}]",
+                        cfg.syrk_flops,
+                        reads=((i, k),),
+                        updates=((i, i),),
+                        phase=k,
+                    )
+                else:
+                    builders[o].compute(
+                        f"GEMM[{i},{j},{k}]",
+                        cfg.gemm_flops,
+                        reads=((i, k), (j, k)),
+                        updates=((i, j),),
+                        phase=k,
+                    )
+
+    if sync_iterations:
+        for b in builders:
+            b.specs.append(TaskSpec(name="taskwait", barrier=True))
+    return [b.build(cfg.iterations, name=f"{name}-r{r}") for r, b in enumerate(builders)]
+
+
+class _RankBuilder:
+    """Accumulates one rank's task specs in global submission order."""
+
+    def __init__(self, cfg: CholeskyConfig, rank: int):
+        self.cfg = cfg
+        self.rank = rank
+        self.addr = _Interner()
+        self.chunk = _Interner()
+        self.specs: list[TaskSpec] = []
+        #: Tiles received this phase: (i, j, phase) -> recv-buffer address.
+        self._recv_addr: dict[tuple[int, int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    def _tile_addr(self, ij: tuple[int, int], phase: int | None = None) -> int:
+        """Address of tile (i, j) as seen by this rank for ``phase``."""
+        if self.cfg.owner(*ij) == self.rank:
+            return self.addr(("tile", ij))
+        if phase is None:
+            raise ValueError(f"rank {self.rank} does not own {ij} and no phase given")
+        key = (ij[0], ij[1], phase)
+        if key not in self._recv_addr:
+            raise RuntimeError(
+                f"rank {self.rank} uses remote tile {ij} in phase {phase} "
+                "before receiving it"
+            )
+        return self._recv_addr[key]
+
+    def _tile_chunk(self, ij: tuple[int, int]) -> tuple[int, int]:
+        return (self.chunk(("tile", ij)), self.cfg.tile_bytes)
+
+    @staticmethod
+    def _tag(ij: tuple[int, int], phase: int, dst: int) -> int:
+        i, j = ij
+        return ((phase * 4096 + i) * 4096 + j) * 4096 + dst
+
+    # ------------------------------------------------------------------
+    def compute(
+        self,
+        name: str,
+        flops: float,
+        *,
+        reads: Iterable[tuple[int, int]],
+        updates: Iterable[tuple[int, int]],
+        phase: int | None = None,
+    ) -> None:
+        updates = tuple(updates)
+        if any(self.cfg.owner(*ij) != self.rank for ij in updates):
+            return  # not my task
+        deps: list[Dep] = []
+        fp = []
+        for ij in reads:
+            deps.append((self._tile_addr(ij, phase), DepMode.IN))
+            fp.append(self._tile_chunk(ij))
+        for ij in updates:
+            deps.append((self._tile_addr(ij), DepMode.INOUT))
+            fp.append(self._tile_chunk(ij))
+        self.specs.append(
+            TaskSpec(
+                name=name,
+                depends=tuple(deps),
+                flops=flops,
+                footprint=tuple(fp),
+                fp_bytes=320,
+                loop_id=0,
+            )
+        )
+
+    def send(self, ij: tuple[int, int], phase: int, dst: int) -> None:
+        if self.cfg.owner(*ij) != self.rank:
+            return
+        a = self._tile_addr(ij)
+        self.specs.append(
+            TaskSpec(
+                name=f"Isend{ij}->{dst}",
+                depends=((a, DepMode.IN),),
+                comm=CommSpec(
+                    CommKind.ISEND,
+                    self.cfg.tile_bytes,
+                    peer=dst,
+                    tag=self._tag(ij, phase, dst),
+                ),
+                fp_bytes=64,
+                loop_id=1,
+            )
+        )
+
+    def recv(self, ij: tuple[int, int], phase: int, src: int) -> None:
+        key = (ij[0], ij[1], phase)
+        a = self.addr(("rtile", key))
+        self._recv_addr[key] = a
+        self.specs.append(
+            TaskSpec(
+                name=f"Irecv{ij}<-{src}",
+                depends=((a, DepMode.OUT),),
+                comm=CommSpec(
+                    CommKind.IRECV,
+                    self.cfg.tile_bytes,
+                    peer=src,
+                    tag=self._tag(ij, phase, self.rank),
+                ),
+                fp_bytes=64,
+                loop_id=1,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def build(self, iterations: int, *, name: str) -> Program:
+        return Program.from_template(
+            self.specs, iterations, persistent_candidate=True, name=name
+        )

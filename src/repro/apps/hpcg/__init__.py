@@ -1,0 +1,16 @@
+"""HPCG: conjugate gradient benchmark port (§4.3)."""
+
+from repro.apps.hpcg.config import NNZ_PER_ROW, HpcgConfig
+from repro.apps.hpcg.taskbased import build_task_program, tasks_per_iteration
+from repro.apps.hpcg.forloop import build_for_program
+from repro.apps.hpcg.numeric import NumericCG, laplacian_27pt
+
+__all__ = [
+    "NNZ_PER_ROW",
+    "HpcgConfig",
+    "build_task_program",
+    "tasks_per_iteration",
+    "build_for_program",
+    "NumericCG",
+    "laplacian_27pt",
+]

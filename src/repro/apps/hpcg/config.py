@@ -1,0 +1,70 @@
+"""HPCG proxy configuration.
+
+The paper ports HPCG to dependent tasks with two grain parameters: the
+number of blocks for vector-wise operations (the TPL axis of Fig. 9) and
+the number of sub-blocks for SpMV, fixed to 32 in their experiments (§4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_positive
+
+#: Bytes per matrix/vector entry (double precision).
+REAL = 8
+
+#: Nonzeros per row of the 27-point stencil operator.
+NNZ_PER_ROW = 27
+
+
+@dataclass(frozen=True, slots=True)
+class HpcgConfig:
+    """One rank's share of the CG problem."""
+
+    #: Local rows (the paper's global n=41,943,040 over 32 ranks is
+    #: 1,310,720 rows per rank).
+    n_rows: int = 65_536
+    #: CG iterations (the paper runs i=128).
+    iterations: int = 16
+    #: Vector blocks — the TPL axis.
+    tpl: int = 48
+    #: SpMV sub-blocks per vector block (paper fixes 32; scaled default 4).
+    spmv_sub: int = 4
+    #: Effective flops per nonzero (multiply-add plus index overhead).
+    flops_per_nnz: float = 2.0
+
+    def __post_init__(self) -> None:
+        check_positive("n_rows", self.n_rows)
+        check_positive("iterations", self.iterations)
+        check_positive("tpl", self.tpl)
+        check_positive("spmv_sub", self.spmv_sub)
+        check_positive("flops_per_nnz", self.flops_per_nnz)
+        if self.tpl > self.n_rows:
+            raise ValueError(f"tpl={self.tpl} exceeds n_rows={self.n_rows}")
+
+    # ------------------------------------------------------------------
+    @property
+    def vector_block_bytes(self) -> int:
+        """Bytes of one vector block."""
+        return max(1, REAL * self.n_rows // self.tpl)
+
+    @property
+    def matrix_block_bytes(self) -> int:
+        """Bytes of one row-block of the sparse operator (values+indices)."""
+        return max(1, (REAL + 4) * NNZ_PER_ROW * self.n_rows // self.tpl)
+
+    @property
+    def spmv_flops_per_task(self) -> float:
+        """Flops of one SpMV sub-task."""
+        return self.flops_per_nnz * NNZ_PER_ROW * self.n_rows / (self.tpl * self.spmv_sub)
+
+    @property
+    def vector_flops_per_task(self) -> float:
+        """Flops of one axpy-style block task (2 flops per entry)."""
+        return 2.0 * self.n_rows / self.tpl
+
+    def halo_bytes(self) -> int:
+        """Per-neighbor halo payload (one face of the local subdomain)."""
+        side = round(self.n_rows ** (2.0 / 3.0))
+        return REAL * max(1, side)

@@ -1,0 +1,60 @@
+"""Reference ``parallel for`` HPCG: barriers before MPI (§4.3 baseline)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.apps.hpcg.config import NNZ_PER_ROW, REAL, HpcgConfig
+from repro.cluster.mapping import Neighbor
+from repro.core.program import CommKind
+from repro.runtime.parallel_for import (
+    BlockingCollectiveSpec,
+    ForIteration,
+    ForProgram,
+    HaloExchangeSpec,
+    LoopSpec,
+    P2PSpec,
+)
+
+
+def build_for_program(
+    cfg: HpcgConfig,
+    *,
+    neighbors: Sequence[Neighbor] = (),
+    name: str = "hpcg-for",
+) -> ForProgram:
+    """Build one rank's fork-join CG program."""
+    vec_bytes = REAL * cfg.n_rows
+    mat_bytes = (REAL + 4) * NNZ_PER_ROW * cfg.n_rows
+    chunks = {name: (i, vec_bytes) for i, name in enumerate(("p", "ap", "x", "r"))}
+    chunks["A"] = (len(chunks), mat_bytes)
+    phases: list = []
+    if neighbors:
+        ops = []
+        for nb in neighbors:
+            size = cfg.halo_bytes()
+            ops.append(P2PSpec(CommKind.IRECV, nb.rank, 1, size))
+            ops.append(P2PSpec(CommKind.ISEND, nb.rank, 1, size))
+        phases.append(HaloExchangeSpec(tuple(ops)))
+    phases.append(
+        LoopSpec(
+            "SpMV",
+            flops=cfg.flops_per_nnz * NNZ_PER_ROW * cfg.n_rows,
+            bytes_streamed=mat_bytes + 2 * vec_bytes,
+            footprint=(chunks["A"], chunks["p"], chunks["ap"]),
+        )
+    )
+    phases.append(LoopSpec("DotPAp", flops=2.0 * cfg.n_rows, bytes_streamed=2 * vec_bytes,
+                           footprint=(chunks["p"], chunks["ap"])))
+    phases.append(BlockingCollectiveSpec(nbytes=8))
+    phases.append(LoopSpec("AxpyX", flops=2.0 * cfg.n_rows, bytes_streamed=2 * vec_bytes,
+                           footprint=(chunks["p"], chunks["x"])))
+    phases.append(LoopSpec("AxpyR", flops=2.0 * cfg.n_rows, bytes_streamed=2 * vec_bytes,
+                           footprint=(chunks["ap"], chunks["r"])))
+    phases.append(LoopSpec("DotRR", flops=2.0 * cfg.n_rows, bytes_streamed=vec_bytes,
+                           footprint=(chunks["r"],)))
+    phases.append(BlockingCollectiveSpec(nbytes=8))
+    phases.append(LoopSpec("UpdateP", flops=2.0 * cfg.n_rows, bytes_streamed=2 * vec_bytes,
+                           footprint=(chunks["r"], chunks["p"])))
+    iterations = [ForIteration(phases=list(phases)) for _ in range(cfg.iterations)]
+    return ForProgram(iterations, name=name)

@@ -1,0 +1,250 @@
+"""Task-based HPCG (§4.3).
+
+One CG iteration becomes:
+
+1. halo exchange of the search direction ``p`` with every neighbor
+   (pack / detached Isend / detached Irecv / unpack);
+2. SpMV ``Ap = A p``: ``tpl x spmv_sub`` sub-tasks; sub-task (i, k) reads
+   the k-th *slice* of all p blocks (the runtime cannot know the stencil's
+   sparsity, so column dependences are declared conservatively — this is
+   what makes the average edges-per-task grow linearly with TPL, Fig. 9
+   bottom-left) and scatter-accumulates into Ap block i (``inoutset``);
+3. dot(p, Ap): per-block partials + a reduction task carrying a detached
+   MPI_Iallreduce — alpha;
+4. axpy updates of x and r (per block, gated by alpha);
+5. dot(r, r) + Iallreduce — beta;
+6. p = r + beta p (per block, gated by beta).
+
+The two Allreduces sit on the critical path with little independent work
+available, which is why the paper measures a low overlap ratio (<= 23%).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.apps.hpcg.config import HpcgConfig
+from repro.cluster.mapping import Neighbor
+from repro.core.program import CommKind, CommSpec, Program, TaskSpec
+from repro.core.task import Dep, DepMode
+
+
+class _Interner:
+    def __init__(self) -> None:
+        self._table: dict[object, int] = {}
+
+    def __call__(self, key: object) -> int:
+        t = self._table
+        v = t.get(key)
+        if v is None:
+            v = len(t)
+            t[key] = v
+        return v
+
+
+def build_task_program(
+    cfg: HpcgConfig,
+    *,
+    neighbors: Sequence[Neighbor] = (),
+    name: str = "hpcg-task",
+) -> Program:
+    """Build one rank's task-based CG program."""
+    addr = _Interner()
+    chunk = _Interner()
+    tpl, nsub = cfg.tpl, cfg.spmv_sub
+    vb = cfg.vector_block_bytes
+    mb = cfg.matrix_block_bytes
+    specs: list[TaskSpec] = []
+
+    def vec(namev: str, i: int) -> int:
+        return addr((namev, i))
+
+    def vchunk(namev: str, i: int) -> tuple[int, int]:
+        return (chunk((namev, i)), vb)
+
+    alpha = addr("alpha")
+    beta = addr("beta")
+
+    # --- 1. halo exchange of p ----------------------------------------
+    for ni, nb in enumerate(neighbors):
+        nbytes = cfg.halo_bytes()
+        boundary = ni % tpl
+        rbuf = addr(("rbuf", nb.rank))
+        sbuf = addr(("sbuf", nb.rank))
+        specs.append(
+            TaskSpec(
+                name=f"MPI_Irecv[{nb.rank}]",
+                depends=((rbuf, DepMode.OUT),),
+                comm=CommSpec(CommKind.IRECV, nbytes, peer=nb.rank, tag=1),
+                fp_bytes=32,
+                loop_id=0,
+            )
+        )
+        specs.append(
+            TaskSpec(
+                name=f"PackP[{nb.rank}]",
+                depends=((vec("p", boundary), DepMode.IN), (sbuf, DepMode.OUT)),
+                flops=nbytes / 8.0,
+                footprint=(vchunk("p", boundary),),
+                fp_bytes=32,
+                loop_id=0,
+            )
+        )
+        specs.append(
+            TaskSpec(
+                name=f"MPI_Isend[{nb.rank}]",
+                depends=((sbuf, DepMode.IN),),
+                comm=CommSpec(CommKind.ISEND, nbytes, peer=nb.rank, tag=1),
+                fp_bytes=32,
+                loop_id=0,
+            )
+        )
+        specs.append(
+            TaskSpec(
+                name=f"UnpackP[{nb.rank}]",
+                depends=((rbuf, DepMode.IN), (addr(("phalo", nb.rank)), DepMode.OUT)),
+                flops=nbytes / 8.0,
+                fp_bytes=32,
+                loop_id=0,
+            )
+        )
+
+    # --- 2. SpMV -------------------------------------------------------
+    slice_size = max(1, tpl // nsub)
+    for i in range(tpl):
+        for k in range(nsub):
+            deps: list[Dep] = []
+            lo = k * slice_size
+            hi = min(tpl, lo + slice_size) if k < nsub - 1 else tpl
+            for j in range(lo, hi):
+                deps.append((vec("p", j), DepMode.IN))
+            for nb in neighbors:
+                deps.append((addr(("phalo", nb.rank)), DepMode.IN))
+            deps.append((vec("Ap", i), DepMode.INOUTSET))
+            # Dependences are conservative (the runtime cannot know the
+            # stencil's sparsity — hence the whole p-slice above), but the
+            # *traffic* is what the 27-point stencil actually reads: the
+            # row block's own p neighborhood plus its share of A.
+            fp = [vchunk("p", i)]
+            fp.append((chunk(("A", i, k)), max(1, mb // nsub)))
+            fp.append(vchunk("Ap", i))
+            specs.append(
+                TaskSpec(
+                    name=f"SpMV[{i},{k}]",
+                    depends=tuple(dict.fromkeys(deps)),
+                    flops=cfg.spmv_flops_per_task,
+                    footprint=tuple(fp),
+                    fp_bytes=48,
+                    loop_id=1,
+                )
+            )
+
+    # --- 3. dot(p, Ap) -> alpha ----------------------------------------
+    for i in range(tpl):
+        specs.append(
+            TaskSpec(
+                name=f"DotPAp[{i}]",
+                depends=(
+                    (vec("p", i), DepMode.IN),
+                    (vec("Ap", i), DepMode.IN),
+                    (addr(("pap", i)), DepMode.OUT),
+                ),
+                flops=cfg.vector_flops_per_task,
+                footprint=(vchunk("p", i), vchunk("Ap", i)),
+                fp_bytes=48,
+                loop_id=2,
+            )
+        )
+    specs.append(
+        TaskSpec(
+            name="ReducePAp_allreduce",
+            depends=tuple([(addr(("pap", i)), DepMode.IN) for i in range(tpl)])
+            + ((alpha, DepMode.OUT),),
+            flops=float(tpl),
+            fp_bytes=16,
+            comm=CommSpec(CommKind.IALLREDUCE, nbytes=8),
+            loop_id=2,
+        )
+    )
+
+    # --- 4. x += alpha p ; r -= alpha Ap --------------------------------
+    for i in range(tpl):
+        specs.append(
+            TaskSpec(
+                name=f"AxpyX[{i}]",
+                depends=(
+                    (alpha, DepMode.IN),
+                    (vec("p", i), DepMode.IN),
+                    (vec("x", i), DepMode.INOUT),
+                ),
+                flops=cfg.vector_flops_per_task,
+                footprint=(vchunk("p", i), vchunk("x", i)),
+                fp_bytes=48,
+                loop_id=3,
+            )
+        )
+    for i in range(tpl):
+        specs.append(
+            TaskSpec(
+                name=f"AxpyR[{i}]",
+                depends=(
+                    (alpha, DepMode.IN),
+                    (vec("Ap", i), DepMode.IN),
+                    (vec("r", i), DepMode.INOUT),
+                ),
+                flops=cfg.vector_flops_per_task,
+                footprint=(vchunk("Ap", i), vchunk("r", i)),
+                fp_bytes=48,
+                loop_id=4,
+            )
+        )
+
+    # --- 5. dot(r, r) -> beta -------------------------------------------
+    for i in range(tpl):
+        specs.append(
+            TaskSpec(
+                name=f"DotRR[{i}]",
+                depends=((vec("r", i), DepMode.IN), (addr(("rr", i)), DepMode.OUT)),
+                flops=cfg.vector_flops_per_task,
+                footprint=(vchunk("r", i),),
+                fp_bytes=48,
+                loop_id=5,
+            )
+        )
+    specs.append(
+        TaskSpec(
+            name="ReduceRR_allreduce",
+            depends=tuple([(addr(("rr", i)), DepMode.IN) for i in range(tpl)])
+            + ((beta, DepMode.OUT),),
+            flops=float(tpl),
+            fp_bytes=16,
+            comm=CommSpec(CommKind.IALLREDUCE, nbytes=8),
+            loop_id=5,
+        )
+    )
+
+    # --- 6. p = r + beta p ----------------------------------------------
+    for i in range(tpl):
+        specs.append(
+            TaskSpec(
+                name=f"UpdateP[{i}]",
+                depends=(
+                    (beta, DepMode.IN),
+                    (vec("r", i), DepMode.IN),
+                    (vec("p", i), DepMode.INOUT),
+                ),
+                flops=cfg.vector_flops_per_task,
+                footprint=(vchunk("r", i), vchunk("p", i)),
+                fp_bytes=48,
+                loop_id=6,
+            )
+        )
+
+    return Program.from_template(
+        specs, cfg.iterations, persistent_candidate=True, name=name
+    )
+
+
+def tasks_per_iteration(cfg: HpcgConfig, n_neighbors: int = 0) -> int:
+    """Expected user task count per CG iteration."""
+    return 4 * n_neighbors + cfg.tpl * cfg.spmv_sub + 5 * cfg.tpl + 2

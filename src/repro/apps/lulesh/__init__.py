@@ -1,0 +1,22 @@
+"""LULESH: the paper's primary case study (proxy + numeric validation)."""
+
+from repro.apps.lulesh.config import ELEM_GROUPS, NODE_GROUPS, LuleshConfig
+from repro.apps.lulesh.loops import COMM_AFTER_LOOP, LOOP_SCHEDULE, LoopDef
+from repro.apps.lulesh.taskbased import build_task_program, tasks_per_iteration
+from repro.apps.lulesh.forloop import build_for_program
+from repro.apps.lulesh.numeric import Hydro1D, HydroState, make_state
+
+__all__ = [
+    "ELEM_GROUPS",
+    "NODE_GROUPS",
+    "LuleshConfig",
+    "COMM_AFTER_LOOP",
+    "LOOP_SCHEDULE",
+    "LoopDef",
+    "build_task_program",
+    "tasks_per_iteration",
+    "build_for_program",
+    "Hydro1D",
+    "HydroState",
+    "make_state",
+]

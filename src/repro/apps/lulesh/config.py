@@ -1,0 +1,119 @@
+"""LULESH proxy configuration.
+
+The proxy preserves what the LULESH reports [13, 14] constrain and the paper
+relies on: the mesh data layout (separate node-centric and element-centric
+field arrays), the sequence of mesh-wide loops per Lagrange leapfrog
+iteration, the Tasks-Per-Loop (TPL) refinement parameter, and the MPI
+communication pattern (26-neighbor frontier exchange + dt Allreduce).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.validation import check_positive
+
+#: Bytes per real (LULESH uses double precision).
+REAL = 8
+
+#: Node-centric field groups (fields per group).  13 node fields total.
+NODE_GROUPS: dict[str, int] = {
+    "pos": 3,    # x, y, z
+    "vel": 3,    # xd, yd, zd
+    "acc": 3,    # xdd, ydd, zdd
+    "force": 3,  # fx, fy, fz
+    "mass": 1,   # nodalMass
+}
+
+#: Element-centric field groups.  16 element fields total.
+ELEM_GROUPS: dict[str, int] = {
+    "energy": 3,   # e, p, q
+    "vol": 3,      # v, delv, vdov
+    "grad": 4,     # delx/delv monotonic-Q gradients
+    "geom": 3,     # arealg, ss, elemMass
+    "tmp": 3,      # principal strains / work arrays (globally allocated)
+}
+
+
+@dataclass(frozen=True, slots=True)
+class LuleshConfig:
+    """One MPI rank's share of the problem.
+
+    Parameters mirror the LULESH command line: ``-s`` (edge elements per
+    rank) and ``-i`` (iterations); ``tpl`` is the task-grain parameter of
+    the task-based port (Fig. 1's x-axis).
+    """
+
+    #: Elements per cube edge on this rank (mesh is s^3 elements).
+    s: int = 48
+    #: Time-step iterations.
+    iterations: int = 8
+    #: Tasks per mesh-wide loop.
+    tpl: int = 96
+    #: Average useful flops per element per loop (calibration constant;
+    #: LULESH runs at a few percent of peak — memory dominates).
+    flops_per_item: float = 60.0
+
+    def __post_init__(self) -> None:
+        check_positive("s", self.s)
+        check_positive("iterations", self.iterations)
+        check_positive("tpl", self.tpl)
+        check_positive("flops_per_item", self.flops_per_item)
+        if self.tpl > self.n_elems:
+            raise ValueError(
+                f"tpl={self.tpl} exceeds the number of elements {self.n_elems}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_elems(self) -> int:
+        return self.s**3
+
+    @property
+    def n_nodes(self) -> int:
+        return (self.s + 1) ** 3
+
+    @property
+    def node_bytes(self) -> int:
+        """Bytes of all node-centric arrays."""
+        return sum(NODE_GROUPS.values()) * REAL * self.n_nodes
+
+    @property
+    def elem_bytes(self) -> int:
+        return sum(ELEM_GROUPS.values()) * REAL * self.n_elems
+
+    @property
+    def workset_bytes(self) -> int:
+        """Total mesh residency (the paper fills 72-78% of DRAM with it)."""
+        return self.node_bytes + self.elem_bytes
+
+    # ------------------------------------------------------------------
+    def group_block_bytes(self, array: str, group: str) -> int:
+        """Bytes of one TPL-block of one field group."""
+        if array == "nodes":
+            nf, count = NODE_GROUPS[group], self.n_nodes
+        elif array == "elems":
+            nf, count = ELEM_GROUPS[group], self.n_elems
+        else:
+            raise ValueError(f"unknown array {array!r}")
+        return max(1, nf * REAL * count // self.tpl)
+
+    def group_bytes(self, array: str, group: str) -> int:
+        """Bytes of one whole field group (parallel-for streaming)."""
+        if array == "nodes":
+            return NODE_GROUPS[group] * REAL * self.n_nodes
+        if array == "elems":
+            return ELEM_GROUPS[group] * REAL * self.n_elems
+        raise ValueError(f"unknown array {array!r}")
+
+    # ------------------------------------------------------------------
+    # Frontier message sizes (3 force fields exchanged), §4.1: faces are
+    # O(s^2) — rendezvous; edges O(s) and corners O(1) — eager.
+    def message_bytes(self, kind: str) -> int:
+        if kind == "face":
+            return 3 * REAL * (self.s + 1) ** 2
+        if kind == "edge":
+            return 3 * REAL * (self.s + 1)
+        if kind == "corner":
+            return 3 * REAL
+        raise ValueError(f"unknown neighbor kind {kind!r}")

@@ -1,0 +1,66 @@
+"""Reference ``parallel for`` LULESH (the original LLNL structure, §2.1).
+
+Per iteration: a blocking dt Allreduce, the 33 loops with barriers, and the
+frontier exchange posted only once the whole local domain is computed and
+waited for synchronously — no overlap is expressible, which is the baseline
+property the task-based version improves on.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.apps.lulesh.config import LuleshConfig
+from repro.apps.lulesh.loops import COMM_AFTER_LOOP, LOOP_SCHEDULE
+from repro.cluster.mapping import Neighbor
+from repro.core.program import CommKind
+from repro.runtime.parallel_for import (
+    BlockingCollectiveSpec,
+    ForIteration,
+    ForProgram,
+    HaloExchangeSpec,
+    LoopSpec,
+    P2PSpec,
+)
+
+
+def build_for_program(
+    cfg: LuleshConfig,
+    *,
+    neighbors: Sequence[Neighbor] = (),
+    name: str = "lulesh-for",
+) -> ForProgram:
+    """Build the fork-join LULESH program for one rank."""
+    chunk_ids: dict = {}
+
+    def chunk(array: str, group: str) -> tuple[int, int]:
+        key = (array, group)
+        if key not in chunk_ids:
+            chunk_ids[key] = len(chunk_ids)
+        return (chunk_ids[key], cfg.group_bytes(array, group))
+
+    phases_template: list = []
+    phases_template.append(BlockingCollectiveSpec(nbytes=8))
+    for li, loop in enumerate(LOOP_SCHEDULE):
+        items = cfg.n_nodes if loop.over == "nodes" else cfg.n_elems
+        accesses = dict.fromkeys((*loop.reads, *loop.writes))
+        nbytes = sum(cfg.group_bytes(array, group) for array, group in accesses)
+        phases_template.append(
+            LoopSpec(
+                name=loop.name,
+                flops=cfg.flops_per_item * loop.flops_scale * items,
+                bytes_streamed=nbytes,
+                footprint=tuple(chunk(a, g) for a, g in accesses),
+            )
+        )
+        if li == COMM_AFTER_LOOP and neighbors:
+            ops = []
+            for nb in neighbors:
+                size = cfg.message_bytes(nb.kind)
+                ops.append(P2PSpec(CommKind.IRECV, nb.rank, 0, size))
+                ops.append(P2PSpec(CommKind.ISEND, nb.rank, 0, size))
+            phases_template.append(HaloExchangeSpec(tuple(ops)))
+    iterations = [
+        ForIteration(phases=list(phases_template)) for _ in range(cfg.iterations)
+    ]
+    return ForProgram(iterations, name=name)

@@ -1,0 +1,199 @@
+"""Numerically real mini-hydro — validates the LULESH dependency scheme.
+
+A 1D Lagrangian explicit hydro step (the computational pattern LULESH
+represents, reduced to one dimension): pressure from an ideal-gas EOS,
+nodal forces gathered from adjacent element pressures, leapfrog velocity
+and position updates, volume/density/energy updates, and a dt constraint.
+
+Each mesh-wide loop is blocked into ``n_blocks`` tasks whose dependences
+mirror the 3D proxy (own-block writes, +-1 block gather reads, dt gate).
+All scatter patterns are re-expressed as gathers, so any valid TDG schedule
+reproduces the sequential reference bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.program import Program, TaskSpec
+from repro.core.task import Dep, DepMode
+
+GAMMA = 1.4
+
+
+@dataclass
+class HydroState:
+    """Node- and element-centric arrays of the 1D mesh."""
+
+    x: np.ndarray   # node positions (n+1)
+    v: np.ndarray   # node velocities (n+1)
+    f: np.ndarray   # node forces (n+1)
+    m_node: np.ndarray
+    e: np.ndarray   # element internal energy (n)
+    p: np.ndarray   # element pressure (n)
+    rho: np.ndarray
+    m_elem: np.ndarray
+    dt: float
+
+
+def make_state(n_elems: int, *, e0: float = 1.0, rho0: float = 1.0) -> HydroState:
+    """A Sod-like setup: hot left half, cold right half."""
+    if n_elems < 2:
+        raise ValueError(f"n_elems must be >= 2, got {n_elems}")
+    x = np.linspace(0.0, 1.0, n_elems + 1)
+    vol = np.diff(x)
+    e = np.where(np.arange(n_elems) < n_elems // 2, e0, 0.1 * e0)
+    rho = np.full(n_elems, rho0)
+    m_elem = rho * vol
+    m_node = np.zeros(n_elems + 1)
+    m_node[:-1] += 0.5 * m_elem
+    m_node[1:] += 0.5 * m_elem
+    return HydroState(
+        x=x,
+        v=np.zeros(n_elems + 1),
+        f=np.zeros(n_elems + 1),
+        m_node=m_node,
+        e=e.astype(float),
+        p=np.zeros(n_elems),
+        rho=rho,
+        m_elem=m_elem,
+        dt=1e-4,
+    )
+
+
+class Hydro1D:
+    """Blocked 1D hydro whose loop blocks double as task bodies."""
+
+    def __init__(self, n_elems: int, n_blocks: int):
+        if n_blocks < 1 or n_blocks > n_elems:
+            raise ValueError(f"n_blocks must be in [1, {n_elems}], got {n_blocks}")
+        self.n = n_elems
+        self.nb = n_blocks
+        self.bounds = np.linspace(0, n_elems, n_blocks + 1).astype(int)
+        self.st = make_state(n_elems)
+
+    # ------------------------------------------------------------------
+    def _eb(self, b: int) -> slice:
+        """Element range of block b."""
+        return slice(int(self.bounds[b]), int(self.bounds[b + 1]))
+
+    def _nb_(self, b: int) -> slice:
+        """Node range *owned* by block b.
+
+        Node ``bounds[b+1]`` is shared between blocks b and b+1; ownership
+        goes to b+1 (the last block owns the final node) so that no node is
+        written twice per loop.
+        """
+        hi = int(self.bounds[b + 1])
+        if b == self.nb - 1:
+            hi += 1
+        return slice(int(self.bounds[b]), hi)
+
+    # loop bodies ---------------------------------------------------------
+    def calc_pressure(self, b: int) -> None:
+        s = self._eb(b)
+        st = self.st
+        st.p[s] = (GAMMA - 1.0) * st.rho[s] * st.e[s]
+
+    def calc_force(self, b: int) -> None:
+        """Nodal force gathered from adjacent element pressures."""
+        st = self.st
+        s = self._nb_(b)
+        lo, hi = s.start, s.stop
+        for j in range(lo, hi):
+            pl = st.p[j - 1] if j - 1 >= 0 else st.p[0]
+            pr = st.p[j] if j < self.n else st.p[self.n - 1]
+            st.f[j] = pl - pr
+
+    def calc_velocity(self, b: int) -> None:
+        st = self.st
+        s = self._nb_(b)
+        st.v[s] = st.v[s] + st.dt * st.f[s] / st.m_node[s]
+
+    def calc_position(self, b: int) -> None:
+        st = self.st
+        s = self._nb_(b)
+        st.x[s] = st.x[s] + st.dt * st.v[s]
+
+    def calc_volume(self, b: int) -> None:
+        st = self.st
+        lo, hi = int(self.bounds[b]), int(self.bounds[b + 1])
+        vol = st.x[lo + 1 : hi + 1] - st.x[lo:hi]
+        st.rho[lo:hi] = st.m_elem[lo:hi] / vol
+
+    def calc_energy(self, b: int) -> None:
+        st = self.st
+        lo, hi = int(self.bounds[b]), int(self.bounds[b + 1])
+        dv = st.v[lo + 1 : hi + 1] - st.v[lo:hi]
+        st.e[lo:hi] = np.maximum(
+            st.e[lo:hi] - st.dt * st.p[lo:hi] * dv / st.m_elem[lo:hi], 1e-12
+        )
+
+    # ------------------------------------------------------------------
+    #: loop name -> (body, writes nodes?, reads cross-array?)
+    _SCHEDULE = (
+        ("CalcPressure", "calc_pressure", "elems", ("e", "rho"), ("p",)),
+        ("CalcForce", "calc_force", "nodes", ("p",), ("f",)),
+        ("CalcVelocity", "calc_velocity", "nodes", ("f", "v"), ("v",)),
+        ("CalcPosition", "calc_position", "nodes", ("v", "x"), ("x",)),
+        ("CalcVolume", "calc_volume", "elems", ("x",), ("rho",)),
+        ("CalcEnergy", "calc_energy", "elems", ("p", "v", "e"), ("e",)),
+    )
+
+    #: which array each field lives on
+    _FIELD_ARRAY = {
+        "x": "nodes", "v": "nodes", "f": "nodes",
+        "e": "elems", "p": "elems", "rho": "elems",
+    }
+
+    def run_reference(self, iterations: int) -> HydroState:
+        """Sequential blocked execution — the ground truth."""
+        for _ in range(iterations):
+            for _, body, _, _, _ in self._SCHEDULE:
+                for b in range(self.nb):
+                    getattr(self, body)(b)
+        return self.st
+
+    # ------------------------------------------------------------------
+    def build_program(self, iterations: int, *, name: str = "hydro1d") -> Program:
+        """Task program with real bodies and LULESH-like dependences."""
+        specs: list[TaskSpec] = []
+        aid: dict = {}
+
+        def addr(key) -> int:
+            v = aid.get(key)
+            if v is None:
+                v = len(aid)
+                aid[key] = v
+            return v
+
+        for lname, body, over, reads, writes in self._SCHEDULE:
+            for b in range(self.nb):
+                deps: list[Dep] = []
+                for fld in reads:
+                    arr = self._FIELD_ARRAY[fld]
+                    # Cross-array gathers (and the shared boundary node of
+                    # node-range reads) span the +-1 block neighborhood;
+                    # pure same-array element reads stay within the block.
+                    if arr == "elems" and over == "elems":
+                        blocks: range = range(b, b + 1)
+                    else:
+                        blocks = range(max(0, b - 1), min(self.nb, b + 2))
+                    for bb in blocks:
+                        deps.append((addr((fld, bb)), DepMode.IN))
+                for fld in writes:
+                    deps.append((addr((fld, b)), DepMode.OUT))
+                deps = list(dict.fromkeys(deps))
+                specs.append(
+                    TaskSpec(
+                        name=f"{lname}[{b}]",
+                        depends=tuple(deps),
+                        body=(lambda body=body, b=b: getattr(self, body)(b)),
+                        loop_id=addr(("loop", lname)),
+                    )
+                )
+        return Program.from_template(
+            specs, iterations, persistent_candidate=True, name=name
+        )

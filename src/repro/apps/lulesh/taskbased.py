@@ -1,0 +1,255 @@
+"""Task-based LULESH (the Ferat et al. port, Listing 1).
+
+Builds the dependent-task program of one MPI rank: every mesh-wide loop
+becomes a ``taskloop``-style strip of TPL tasks with dependences inferred
+from the field groups it touches, MPI communications are tasks inserted in
+the TDG (detached sends/recvs, dt Iallreduce), and the whole time-step loop
+is a persistent-TDG candidate (``#pragma omp ptsg``).
+
+Optimization (a) is applied here, at the application level: with
+``opt_a=False`` every ``depend`` clause names one address per *field*
+(LULESH's x, y, z arrays separately — the Fig. 3 pattern); with
+``opt_a=True`` one address per field *group* suffices.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.apps.lulesh.config import ELEM_GROUPS, NODE_GROUPS, LuleshConfig
+from repro.apps.lulesh.loops import COMM_AFTER_LOOP, LOOP_SCHEDULE, LoopDef
+from repro.cluster.mapping import Neighbor
+from repro.core.program import CommKind, CommSpec, Program, TaskSpec
+from repro.core.task import Dep, DepMode
+
+
+class _Interner:
+    """Interns hashable keys to dense ints (addresses and chunk ids)."""
+
+    def __init__(self) -> None:
+        self._table: dict[object, int] = {}
+
+    def __call__(self, key: object) -> int:
+        t = self._table
+        v = t.get(key)
+        if v is None:
+            v = len(t)
+            t[key] = v
+        return v
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+
+def _group_fields(array: str, group: str) -> int:
+    return (NODE_GROUPS if array == "nodes" else ELEM_GROUPS)[group]
+
+
+def build_task_program(
+    cfg: LuleshConfig,
+    *,
+    opt_a: bool = False,
+    neighbors: Sequence[Neighbor] = (),
+    taskwait_around_comm: bool = False,
+    offload: bool = False,
+    name: str = "lulesh-task",
+) -> Program:
+    """Build the task-based LULESH program for one rank.
+
+    Parameters
+    ----------
+    cfg:
+        Problem size, iterations, TPL, arithmetic intensity.
+    opt_a:
+        Apply the user-side dependence minimization (§3.1 (a)).
+    neighbors:
+        This rank's frontier neighbors (empty for intra-node runs).
+    taskwait_around_comm:
+        Bracket the communication sequence with explicit ``taskwait``
+        (the §4.1 ablation: the paper measures this costs ~7% of total
+        time versus letting MPI tasks flow in the TDG).
+    offload:
+        Mark the element-centric loops ``device=True`` for the §7
+        accelerator-offloading extension (requires a configured
+        :class:`~repro.accel.AcceleratorSpec` on the runtime).
+    """
+    addr = _Interner()
+    chunk = _Interner()
+    tpl = cfg.tpl
+    specs: list[TaskSpec] = []
+
+    # The scatter-accumulated force arrays are tracked at a coarser
+    # dependence granularity than the task blocks (the port expresses the
+    # gather/scatter irregularity over node *ranges*): several writer tasks
+    # share each force superblock (the m concurrent ``inoutset`` writers of
+    # Fig. 4) and several downstream reader tasks depend on it (the n
+    # readers) — the m*n explosion optimization (c) collapses.
+    n_super = max(1, tpl // 8)
+
+    def dep_block(array: str, group: str, block: int) -> int:
+        if array == "nodes" and group == "force":
+            return block * n_super // tpl
+        return block
+
+    # ------------------------------------------------------------------
+    def dep_addrs(array: str, group: str, block: int, mode: DepMode) -> list[Dep]:
+        """Expand one (array, group, block) access into depend items.
+
+        Without optimization (a) the node-centric accesses name one address
+        per *field* (x, y, z separately — the Fig. 3 pattern found in the
+        Ferat et al. port); element-centric accesses were already merged in
+        that port, so they stay one address per group.
+        """
+        block = dep_block(array, group, block)
+        if opt_a or array != "nodes":
+            return [(addr((array, group, block)), mode)]
+        nf = _group_fields(array, group)
+        return [(addr((array, group, block, f)), mode) for f in range(nf)]
+
+    def block_chunk(array: str, group: str, block: int) -> tuple[int, int]:
+        return (chunk((array, group, block)), cfg.group_block_bytes(array, group))
+
+    def neighborhood(block: int) -> range:
+        return range(max(0, block - 1), min(tpl, block + 2))
+
+    dt_addr = addr("dt")
+    n_nodes, n_elems = cfg.n_nodes, cfg.n_elems
+
+    # ------------------------------------------------------------------
+    def loop_tasks(loop_idx: int, loop: LoopDef) -> None:
+        items = n_nodes if loop.over == "nodes" else n_elems
+        flops = cfg.flops_per_item * loop.flops_scale * items / tpl
+        for i in range(tpl):
+            deps: list[Dep] = [(dt_addr, DepMode.IN)]
+            fp: list[tuple[int, int]] = []
+            for array, group in loop.reads:
+                blocks = [i] if array[0] == loop.over[0] else neighborhood(i)
+                for b in blocks:
+                    deps.extend(dep_addrs(array, group, b, DepMode.IN))
+                    fp.append(block_chunk(array, group, b))
+            if loop.ioset:
+                for array, group in loop.writes:
+                    for b in neighborhood(i):
+                        deps.extend(dep_addrs(array, group, b, DepMode.INOUTSET))
+                        fp.append(block_chunk(array, group, b))
+            else:
+                for array, group in loop.writes:
+                    deps.extend(dep_addrs(array, group, i, DepMode.OUT))
+                    fp.append(block_chunk(array, group, i))
+            if loop.dt_partial:
+                deps.append((addr(("dtred", loop.name, i)), DepMode.OUT))
+            # Superblock mapping can repeat an item within one clause list;
+            # real clauses name each location once.
+            deps = list(dict.fromkeys(deps))
+            specs.append(
+                TaskSpec(
+                    name=f"{loop.name}[{i}]",
+                    depends=tuple(deps),
+                    flops=flops,
+                    footprint=tuple(fp),
+                    fp_bytes=48,
+                    loop_id=loop_idx,
+                    device=offload and loop.over == "elems",
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def dt_task() -> None:
+        """Local dt min + MPI_(I)allreduce — depends on every constraint
+        partial of the previous iteration (Listing 1, line 4)."""
+        deps: list[Dep] = []
+        for li, loop in enumerate(LOOP_SCHEDULE):
+            if loop.dt_partial:
+                for i in range(tpl):
+                    deps.append((addr(("dtred", loop.name, i)), DepMode.IN))
+        deps.append((dt_addr, DepMode.OUT))
+        specs.append(
+            TaskSpec(
+                name="CalcTimeConstraints_allreduce",
+                depends=tuple(deps),
+                flops=200.0,
+                fp_bytes=16,
+                comm=CommSpec(kind=CommKind.IALLREDUCE, nbytes=8, detached=True),
+                loop_id=-2,
+                priority=True,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def comm_tasks() -> None:
+        """Frontier force exchange with every neighbor (Listing 1 lines
+        20-30): detached Irecv/Isend, pack/unpack on boundary blocks."""
+        for ni, nb in enumerate(neighbors):
+            nbytes = cfg.message_bytes(nb.kind)
+            boundary = 0 if ni % 2 == 0 else tpl - 1
+            rbuf = addr(("rbuf", nb.rank))
+            sbuf = addr(("sbuf", nb.rank))
+            specs.append(
+                TaskSpec(
+                    name=f"MPI_Irecv[{nb.rank}]",
+                    depends=((rbuf, DepMode.OUT),),
+                    comm=CommSpec(kind=CommKind.IRECV, nbytes=nbytes, peer=nb.rank, tag=0),
+                    fp_bytes=32,
+                    loop_id=-3,
+                    priority=True,
+                )
+            )
+            pack_deps: list[Dep] = list(dep_addrs("nodes", "force", boundary, DepMode.IN))
+            pack_deps.append((sbuf, DepMode.OUT))
+            specs.append(
+                TaskSpec(
+                    name=f"Pack[{nb.rank}]",
+                    depends=tuple(pack_deps),
+                    flops=nbytes / 8.0,
+                    footprint=(block_chunk("nodes", "force", boundary),),
+                    fp_bytes=32,
+                    loop_id=-3,
+                    priority=True,
+                )
+            )
+            specs.append(
+                TaskSpec(
+                    name=f"MPI_Isend[{nb.rank}]",
+                    depends=((sbuf, DepMode.IN),),
+                    comm=CommSpec(kind=CommKind.ISEND, nbytes=nbytes, peer=nb.rank, tag=0),
+                    fp_bytes=32,
+                    loop_id=-3,
+                    priority=True,
+                )
+            )
+            unpack_deps: list[Dep] = [(rbuf, DepMode.IN)]
+            unpack_deps.extend(dep_addrs("nodes", "force", boundary, DepMode.INOUT))
+            specs.append(
+                TaskSpec(
+                    name=f"Unpack[{nb.rank}]",
+                    depends=tuple(unpack_deps),
+                    flops=nbytes / 8.0,
+                    footprint=(block_chunk("nodes", "force", boundary),),
+                    fp_bytes=32,
+                    loop_id=-3,
+                    priority=True,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    dt_task()
+    for li, loop in enumerate(LOOP_SCHEDULE):
+        loop_tasks(li, loop)
+        if li == COMM_AFTER_LOOP:
+            if taskwait_around_comm and neighbors:
+                specs.append(TaskSpec(name="taskwait", barrier=True))
+            comm_tasks()
+            if taskwait_around_comm and neighbors:
+                specs.append(TaskSpec(name="taskwait", barrier=True))
+
+    return Program.from_template(
+        specs,
+        cfg.iterations,
+        persistent_candidate=True,
+        name=name,
+    )
+
+
+def tasks_per_iteration(cfg: LuleshConfig, n_neighbors: int = 0) -> int:
+    """Expected user task count per iteration (tests/documentation)."""
+    return 1 + len(LOOP_SCHEDULE) * cfg.tpl + 4 * n_neighbors

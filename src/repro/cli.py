@@ -1,0 +1,295 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives shell access to the main experiment flows:
+
+- ``lulesh`` / ``hpcg`` / ``cholesky`` — run one workload configuration and
+  print the §2.3.1 breakdown (plus communication metrics for cluster runs);
+- ``sweep`` — a LULESH TPL sweep with the Fig-1-style curves;
+- ``validate`` — the three numeric end-to-end validations;
+- ``info`` — machine/network/cost-model presets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.calibration import (
+    scale_costs,
+    scaled_epyc,
+    scaled_mpc,
+    scaled_skylake,
+)
+from repro.analysis.sweep import geometric_tpls, run_sweep
+from repro.analysis.tables import render_series, render_table
+from repro.core.optimizations import OptimizationSet
+from repro.profiler.breakdown import breakdown_of
+from repro.profiler.comm_metrics import comm_metrics
+from repro.runtime import presets
+from repro.runtime.runtime import TaskRuntime
+
+
+def _machine(name: str, n_threads: Optional[int]):
+    from repro.memory.machine import epyc_7763_numa, skylake_8168, tiny_test_machine
+
+    table = {
+        "skylake": skylake_8168,
+        "epyc": epyc_7763_numa,
+        "scaled-skylake": scaled_skylake,
+        "scaled-epyc": scaled_epyc,
+        "tiny": tiny_test_machine,
+    }
+    if name not in table:
+        raise SystemExit(f"unknown machine {name!r}; pick from {sorted(table)}")
+    m = table[name]()
+    return m
+
+
+def _config(args) -> "RuntimeConfig":
+    cfg = presets.mpc_omp(
+        _machine(args.machine, args.threads),
+        opts=OptimizationSet.parse(args.opts),
+        n_threads=args.threads,
+    )
+    if args.cost_scale != 1.0:
+        cfg = scale_costs(cfg, args.cost_scale)
+    return cfg
+
+
+def _add_runtime_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--machine", default="scaled-skylake",
+                   help="machine preset (default: scaled-skylake)")
+    p.add_argument("--threads", type=int, default=None, help="OpenMP threads")
+    p.add_argument("--opts", default="abcp",
+                   help="discovery optimizations, letters from 'abcp' or 'none'")
+    p.add_argument("--cost-scale", type=float, default=0.05,
+                   help="per-task runtime cost scale (default 0.05, see calibration)")
+
+
+def cmd_lulesh(args) -> int:
+    from repro.analysis.distributed import run_lulesh_cluster
+    from repro.apps.lulesh import LuleshConfig, build_task_program
+    from repro.cluster import RankGrid
+
+    lcfg = LuleshConfig(s=args.s, iterations=args.i, tpl=args.tpl,
+                        flops_per_item=args.flops)
+    if args.ranks > 1:
+        grid = RankGrid.cubic(args.ranks)
+        res = run_lulesh_cluster(
+            grid, lcfg, opts=args.opts, n_threads=args.threads,
+            base_config=_config(args),
+        )
+        pr = [r for r in res.results if r.extra.get("profiled")][0]
+        print(f"cluster makespan: {res.makespan:.6f}s over {args.ranks} ranks")
+        print(breakdown_of(pr))
+        print("profiled rank comm:", comm_metrics(pr.comm, pr.trace, pr.n_threads))
+        return 0
+    prog = build_task_program(
+        lcfg, opt_a=OptimizationSet.parse(args.opts).a, offload=args.offload
+    )
+    config = _config(args)
+    if args.offload:
+        from dataclasses import replace
+
+        from repro.accel import AcceleratorSpec
+
+        config = replace(
+            config, accelerator=AcceleratorSpec().scaled(args.cost_scale)
+        )
+    rt = TaskRuntime(prog, config)
+    r = rt.run()
+    print(breakdown_of(r))
+    print(f"tasks={r.n_tasks} edges={r.edges.created} "
+          f"pruned={r.edges.pruned} dup-skipped={r.edges.duplicates_skipped}")
+    if rt.accelerator is not None:
+        st = rt.accelerator.stats
+        print(f"accelerator: {st.kernels} kernels, "
+              f"{100 * rt.accelerator.utilization(r.makespan):.0f}% stream "
+              f"utilization, {st.h2d_bytes / 1e6:.1f} MB H2D")
+    return 0
+
+
+def cmd_hpcg(args) -> int:
+    from repro.apps.hpcg import HpcgConfig, build_task_program
+
+    hcfg = HpcgConfig(n_rows=args.rows, iterations=args.i, tpl=args.tpl,
+                      spmv_sub=args.spmv_sub)
+    prog = build_task_program(hcfg)
+    r = TaskRuntime(prog, _config(args)).run()
+    print(breakdown_of(r))
+    print(f"tasks={r.n_tasks} edges={r.edges.created} "
+          f"grain={r.work_per_task * 1e6:.1f}us")
+    return 0
+
+
+def cmd_cholesky(args) -> int:
+    from repro.apps.cholesky import CholeskyConfig, build_task_programs
+
+    ccfg = CholeskyConfig(n=args.n, b=args.b, iterations=args.i)
+    prog = build_task_programs(ccfg)[0]
+    r = TaskRuntime(prog, _config(args)).run()
+    print(breakdown_of(r))
+    print(f"tasks={r.n_tasks} ({ccfg.n_tasks_one_factorization()} per "
+          f"factorization), discovery {r.discovery_busy * 1e3:.3f}ms")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.apps.lulesh import LuleshConfig, build_task_program
+
+    tpls = geometric_tpls(args.tpl_min, args.tpl_max, args.points)
+    opt_a = OptimizationSet.parse(args.opts).a
+    sweep = run_sweep(
+        tpls,
+        lambda tpl: build_task_program(
+            LuleshConfig(s=args.s, iterations=args.i, tpl=tpl,
+                         flops_per_item=args.flops),
+            opt_a=opt_a,
+        ),
+        lambda tpl: _config(args),
+    )
+    rows = [
+        [p.tpl, f"{p.total * 1e3:.3f}", f"{p.execution * 1e3:.3f}",
+         f"{p.discovery * 1e3:.3f}", f"{p.grain * 1e6:.1f}"]
+        for p in sweep.points
+    ]
+    print(render_table(
+        ["TPL", "total(ms)", "execution(ms)", "discovery(ms)", "grain(us)"],
+        rows, title=f"LULESH TPL sweep (s={args.s}, i={args.i}, opts={args.opts})",
+    ))
+    print(render_series(
+        sweep.tpls,
+        {"total": sweep.series("total"), "discovery": sweep.series("discovery")},
+        x_label="TPL",
+    ))
+    best = sweep.best("total")
+    print(f"best TPL={best.tpl} at {best.total * 1e3:.3f}ms; "
+          f"discovery-bound from TPL={sweep.crossover_tpl()}")
+    return 0
+
+
+def cmd_validate(args) -> int:
+    from repro.apps.cholesky import NumericCholesky, random_spd
+    from repro.apps.hpcg import NumericCG, laplacian_27pt
+    from repro.apps.lulesh import Hydro1D
+    from repro.memory.machine import tiny_test_machine
+    from repro.runtime.runtime import RuntimeConfig
+
+    failures = 0
+    cfg = RuntimeConfig(machine=tiny_test_machine(4),
+                        opts=OptimizationSet.parse(args.opts),
+                        execute_bodies=True)
+
+    ref = Hydro1D(64, 8)
+    ref.run_reference(30)
+    h = Hydro1D(64, 8)
+    TaskRuntime(h.build_program(30), cfg).run()
+    ok = all(np.array_equal(getattr(h.st, f), getattr(ref.st, f))
+             for f in ("x", "v", "e"))
+    print(f"hydro1d bitwise equal: {ok}")
+    failures += not ok
+
+    a = laplacian_27pt(5, 5, 5)
+    b = np.random.default_rng(0).normal(size=a.shape[0])
+    cg = NumericCG(a, b, n_blocks=5)
+    TaskRuntime(cg.build_program(20), cfg).run()
+    res = cg.residual_norm() / np.linalg.norm(b)
+    print(f"cg relative residual: {res:.2e}")
+    failures += not (res < 1e-8)
+
+    a0 = random_spd(96, seed=1)
+    nc = NumericCholesky(a0, 24)
+    TaskRuntime(nc.build_program(), cfg).run()
+    ok = nc.check(a0)
+    print(f"cholesky LL^T == A: {ok}")
+    failures += not ok
+
+    print("validation:", "PASS" if failures == 0 else f"{failures} FAILURES")
+    return 1 if failures else 0
+
+
+def cmd_info(args) -> int:
+    from repro.memory.machine import epyc_7763_numa, skylake_8168
+    from repro.mpi.network import bxi_like
+    from repro.runtime.costs import DiscoveryCosts, SchedulerCosts
+
+    for m in (skylake_8168(), epyc_7763_numa(), scaled_skylake(), scaled_epyc()):
+        print(f"{m.name:>18}: {m.n_cores} cores, L1 {m.l1_bytes // 1024}K, "
+              f"L2 {m.l2_bytes // 1024}K, L3 {m.l3_bytes // 1024}K, "
+              f"DRAM {m.dram_bw / 1e9:.0f} GB/s")
+    n = bxi_like()
+    print(f"\nnetwork: latency {n.latency * 1e6:.1f}us, "
+          f"bw {n.bandwidth / 1e9:.1f} GB/s, eager <= {n.eager_threshold}B")
+    d = DiscoveryCosts()
+    print(f"discovery costs: task {d.c_task * 1e6:.2f}us, "
+          f"dep {d.c_dep * 1e6:.2f}us, edge {d.c_edge * 1e6:.2f}us, "
+          f"replay {d.c_replay * 1e6:.2f}us")
+    s = SchedulerCosts()
+    print(f"scheduler costs: pop {s.c_pop * 1e6:.2f}us, "
+          f"steal {s.c_steal * 1e6:.2f}us, complete {s.c_complete * 1e6:.2f}us")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ICPP'23 TDG-discovery reproduction — simulation CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("lulesh", help="run the LULESH proxy")
+    _add_runtime_args(p)
+    p.add_argument("-s", type=int, default=32, help="edge elements per rank")
+    p.add_argument("-i", type=int, default=4, help="iterations")
+    p.add_argument("--tpl", type=int, default=64, help="tasks per loop")
+    p.add_argument("--flops", type=float, default=25.0, help="flops per item")
+    p.add_argument("--ranks", type=int, default=1, help="MPI ranks (cube)")
+    p.add_argument("--offload", action="store_true",
+                   help="offload element loops to the simulated accelerator")
+    p.set_defaults(fn=cmd_lulesh)
+
+    p = sub.add_parser("hpcg", help="run the HPCG proxy")
+    _add_runtime_args(p)
+    p.add_argument("--rows", type=int, default=65_536, help="local rows")
+    p.add_argument("-i", type=int, default=4, help="CG iterations")
+    p.add_argument("--tpl", type=int, default=32, help="vector blocks")
+    p.add_argument("--spmv-sub", type=int, default=4, help="SpMV sub-blocks")
+    p.set_defaults(fn=cmd_hpcg)
+
+    p = sub.add_parser("cholesky", help="run the tile Cholesky proxy")
+    _add_runtime_args(p)
+    p.add_argument("-n", type=int, default=2048, help="matrix dimension")
+    p.add_argument("-b", type=int, default=256, help="tile size")
+    p.add_argument("-i", type=int, default=4, help="factorizations")
+    p.set_defaults(fn=cmd_cholesky)
+
+    p = sub.add_parser("sweep", help="LULESH TPL sweep (Fig 1/6 style)")
+    _add_runtime_args(p)
+    p.add_argument("-s", type=int, default=32)
+    p.add_argument("-i", type=int, default=4)
+    p.add_argument("--tpl-min", type=int, default=4)
+    p.add_argument("--tpl-max", type=int, default=256)
+    p.add_argument("--points", type=int, default=8)
+    p.add_argument("--flops", type=float, default=25.0)
+    p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser("validate", help="numeric end-to-end validation")
+    p.add_argument("--opts", default="abcp")
+    p.set_defaults(fn=cmd_validate)
+
+    p = sub.add_parser("info", help="print presets and cost model")
+    p.set_defaults(fn=cmd_info)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""Multi-rank coupled simulation (distributed MPI+OpenMP substrate)."""
+
+from repro.cluster.mapping import Neighbor, RankGrid
+from repro.cluster.cluster import Cluster, ClusterResult, run_spmd
+
+__all__ = ["Neighbor", "RankGrid", "Cluster", "ClusterResult", "run_spmd"]

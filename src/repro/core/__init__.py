@@ -1,0 +1,43 @@
+"""Core task model: tasks, programs, TDG discovery and its optimizations.
+
+This package is the paper's primary contribution area: the task dependency
+graph (TDG), its discovery by a single producer thread, the discovery
+optimizations (a)/(b)/(c), the persistent task sub-graph (p), and task
+throttling.
+"""
+
+from repro.core.task import Task, TaskState, DepMode, Dep
+from repro.core.program import (
+    CommKind,
+    CommSpec,
+    IterationSpec,
+    Program,
+    ProgramBuilder,
+    TaskSpec,
+)
+from repro.core.graph import TaskGraph, EdgeStats
+from repro.core.dependences import DependenceResolver, ResolutionResult
+from repro.core.optimizations import OptimizationSet
+from repro.core.persistent import PersistentRegion, PersistentStructureError
+from repro.core.throttling import ThrottleConfig
+
+__all__ = [
+    "Task",
+    "TaskState",
+    "DepMode",
+    "Dep",
+    "CommKind",
+    "CommSpec",
+    "IterationSpec",
+    "Program",
+    "ProgramBuilder",
+    "TaskSpec",
+    "TaskGraph",
+    "EdgeStats",
+    "DependenceResolver",
+    "ResolutionResult",
+    "OptimizationSet",
+    "PersistentRegion",
+    "PersistentStructureError",
+    "ThrottleConfig",
+]

@@ -1,0 +1,78 @@
+"""The paper's four TDG discovery optimizations as a config value (§3).
+
+- **(a)** user-side minimization of redundant ``depend`` addresses.  This one
+  lives in application code: workload builders consult :attr:`OptimizationSet.a`
+  and emit fewer addresses per clause (e.g. one address for the ``(x, y)``
+  pair of Fig. 3 instead of two).
+- **(b)** runtime elimination of duplicate edges in O(1), exploiting the
+  sequential submission order of dependent tasks.  Implemented in
+  :mod:`repro.core.dependences`.
+- **(c)** ``inoutset`` redirect node: an empty task inserted after a group of
+  m concurrent writers so that n readers cost m+n edges instead of m*n
+  (Fig. 4).  Implemented in :mod:`repro.core.dependences`.
+- **(p)** persistent task sub-graph: cache the whole TDG across iterations of
+  an annotated loop, replaying only firstprivate copies (§3.2).  Implemented
+  in :mod:`repro.core.persistent` and the runtime's producer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class OptimizationSet:
+    """Which of the paper's optimizations (a), (b), (c), (p) are enabled."""
+
+    a: bool = False
+    b: bool = False
+    c: bool = False
+    p: bool = False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def none(cls) -> "OptimizationSet":
+        """No optimization — the paper's baseline runtime behaviour."""
+        return cls()
+
+    @classmethod
+    def all(cls) -> "OptimizationSet":
+        """(a)+(b)+(c)+(p): the fully optimized configuration."""
+        return cls(a=True, b=True, c=True, p=True)
+
+    @classmethod
+    def abc(cls) -> "OptimizationSet":
+        """(a)+(b)+(c) without persistence — Table 2's best non-(p) row."""
+        return cls(a=True, b=True, c=True, p=False)
+
+    @classmethod
+    def parse(cls, spec: str) -> "OptimizationSet":
+        """Parse a compact spec like ``"ab"``, ``"abcp"``, ``""`` or ``"none"``.
+
+        >>> OptimizationSet.parse("bc")
+        OptimizationSet(a=False, b=True, c=True, p=False)
+        """
+        spec = spec.strip().lower()
+        if spec in ("", "none"):
+            return cls.none()
+        if spec == "all":
+            return cls.all()
+        flags = {}
+        for ch in spec:
+            if ch not in "abcp":
+                raise ValueError(
+                    f"unknown optimization {ch!r} in spec {spec!r}; "
+                    "expected letters from 'abcp'"
+                )
+            flags[ch] = True
+        return cls(**flags)
+
+    # ------------------------------------------------------------------
+    @property
+    def label(self) -> str:
+        """Compact label used in tables, e.g. ``"(a)+(b)+(c)"``."""
+        parts = [f"({ch})" for ch in "abcp" if getattr(self, ch)]
+        return "+".join(parts) if parts else "none"
+
+    def __str__(self) -> str:
+        return self.label

@@ -1,0 +1,108 @@
+"""Persistent Task Sub-Graph (PTSG) — optimization (p), §3.2.
+
+On the first iteration of an annotated loop the runtime discovers the TDG as
+usual but marks tasks persistent (never destroyed on completion) and creates
+*every* edge — no pruning, since edges are not recreated on later iterations.
+On subsequent iterations the producer only copies each task's firstprivate
+data (8–100 bytes in LULESH); dependence processing, descriptor allocation
+and ICV management are skipped entirely.  An implicit barrier at the end of
+each iteration guarantees all tasks completed before being re-armed, which
+also removes inter-iteration edges (the resolver is reset at the barrier).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.graph import TaskGraph
+from repro.core.program import IterationSpec, TaskSpec
+from repro.core.task import Task
+
+
+class PersistentStructureError(RuntimeError):
+    """An iteration's task structure diverged from the cached graph.
+
+    The persistent TDG assumes dependences constant over iterations (§3.2
+    "Applicability"); a mesh refinement between iterations would raise this,
+    signalling that the graph must be rediscovered.
+    """
+
+
+def _signature(spec: TaskSpec) -> tuple:
+    """Structural identity of a task spec for replay validation.
+
+    firstprivate payloads and bodies may change between iterations (that is
+    the point of the extension); names, loop ids and dependences may not.
+    """
+    return (spec.name, spec.loop_id, spec.depends)
+
+
+@dataclass
+class PersistentRegion:
+    """The cached graph of one ``#pragma omp ptsg`` region.
+
+    Attributes
+    ----------
+    graph:
+        The TDG discovered on the first iteration (prune-free).
+    template:
+        The first iteration's specs, used to validate later iterations and
+        to re-derive per-task replay costs (firstprivate sizes).
+    user_tasks:
+        Tasks corresponding 1:1 to ``template`` (stubs excluded).
+    """
+
+    graph: TaskGraph
+    #: The raw first-iteration specs, *including* any taskwait markers.
+    template: list[TaskSpec]
+    user_tasks: list[Task]
+
+    def __post_init__(self) -> None:
+        n_real = sum(1 for s in self.template if not s.barrier)
+        if n_real != len(self.user_tasks):
+            raise ValueError(
+                "template/user_tasks mismatch: "
+                f"{n_real} task specs vs {len(self.user_tasks)} tasks"
+            )
+
+    # ------------------------------------------------------------------
+    def validate_iteration(self, iteration: IterationSpec) -> None:
+        """Check a later iteration is structurally identical to the template.
+
+        ``taskwait`` markers create no tasks, but their *positions* are part
+        of the structural signature.
+        """
+        got_barriers = [i for i, s in enumerate(iteration.tasks) if s.barrier]
+        ref_barriers = [i for i, s in enumerate(self.template) if s.barrier]
+        if got_barriers != ref_barriers:
+            raise PersistentStructureError(
+                f"iteration {iteration.index}: taskwait positions changed "
+                f"({got_barriers} vs {ref_barriers})"
+            )
+        got_tasks = [s for s in iteration.tasks if not s.barrier]
+        ref_tasks = [s for s in self.template if not s.barrier]
+        if len(got_tasks) != len(ref_tasks):
+            raise PersistentStructureError(
+                f"iteration {iteration.index} submits {len(got_tasks)} "
+                f"tasks but the persistent graph holds {len(ref_tasks)}"
+            )
+        for got, ref in zip(got_tasks, ref_tasks):
+            if _signature(got) != _signature(ref):
+                raise PersistentStructureError(
+                    f"iteration {iteration.index}: task {got.name!r} diverged "
+                    f"from cached task {ref.name!r} (dependences or loop changed)"
+                )
+
+    # ------------------------------------------------------------------
+    def rearm(self) -> None:
+        """Reset all tasks (user tasks and stubs) for the next iteration."""
+        self.graph.reset_for_replay()
+
+    @property
+    def n_tasks(self) -> int:
+        return self.graph.n_tasks
+
+    @property
+    def n_edges(self) -> int:
+        return self.graph.n_edges

@@ -1,0 +1,177 @@
+"""Task model: the runtime-side representation of an OpenMP dependent task.
+
+A :class:`Task` is the mutable object the simulated runtime manipulates: it
+carries the dependence bookkeeping (predecessor counter, successor list), the
+scheduling state, and the cost-model inputs (flops, memory footprint).  The
+immutable *description* of a task as emitted by user code lives in
+:class:`repro.core.program.TaskSpec`; the producer thread turns specs into
+``Task`` objects during TDG discovery, paying the costs the paper studies.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.program import CommSpec
+
+
+class DepMode(enum.IntEnum):
+    """OpenMP ``depend`` clause dependence types used by the paper.
+
+    ``IN``/``OUT``/``INOUT`` follow OpenMP 4.0 semantics; ``INOUTSET``
+    (OpenMP 5.1) marks a set of mutually-concurrent writers that other
+    dependence types on the same address must all wait for (Fig. 4).
+    """
+
+    IN = 0
+    OUT = 1
+    INOUT = 2
+    INOUTSET = 3
+
+
+class TaskState(enum.IntEnum):
+    """Lifecycle of a task inside the simulated runtime."""
+
+    #: Created by the producer, still has unsatisfied predecessors.
+    CREATED = 0
+    #: All predecessors satisfied; sitting in a scheduler queue.
+    READY = 1
+    #: Being executed by a worker (or waiting on a detached MPI request).
+    RUNNING = 2
+    #: Body finished and, for detached tasks, communication completed.
+    COMPLETED = 3
+
+
+#: A single ``depend`` item: (address, mode).  Addresses are opaque ints —
+#: the hash of whatever storage location the user named in the clause.
+Dep = Tuple[int, DepMode]
+
+#: One footprint entry for the cache model: (chunk id, bytes touched).
+FootprintChunk = Tuple[int, int]
+
+
+class Task:
+    """A runtime task instance.
+
+    Attributes double as the simulator's working state, hence ``__slots__``:
+    experiments instantiate hundreds of thousands of these per run.
+    """
+
+    __slots__ = (
+        "tid",
+        "name",
+        "loop_id",
+        "iteration",
+        "flops",
+        "footprint",
+        "fp_bytes",
+        "comm",
+        "body",
+        "state",
+        "npred",
+        "npred_initial",
+        "presat",
+        "successors",
+        "last_successor",
+        "persistent",
+        "is_stub",
+        "priority",
+        "device",
+        "created_at",
+        "started_at",
+        "completed_at",
+        "worker",
+        "detach_pending",
+        "armed",
+    )
+
+    def __init__(
+        self,
+        tid: int,
+        name: str = "",
+        *,
+        loop_id: int = -1,
+        iteration: int = 0,
+        flops: float = 0.0,
+        footprint: Sequence[FootprintChunk] = (),
+        fp_bytes: int = 0,
+        comm: Optional["CommSpec"] = None,
+        body: Optional[Callable[[], None]] = None,
+        is_stub: bool = False,
+    ) -> None:
+        self.tid = tid
+        self.name = name
+        self.loop_id = loop_id
+        self.iteration = iteration
+        self.flops = flops
+        self.footprint = tuple(footprint)
+        self.fp_bytes = fp_bytes
+        self.comm = comm
+        self.body = body
+        self.state = TaskState.CREATED
+        #: Unsatisfied predecessor count (edge multiplicity included: a
+        #: duplicate edge contributes one satisfy on predecessor completion,
+        #: so correctness holds with or without optimization (b)).
+        self.npred = 0
+        #: In a persistent graph, edges created towards predecessors that
+        #: had *already completed* at discovery time: they are materialized
+        #: (future iterations need them) but pre-satisfied for the current
+        #: iteration, so they never contribute to ``npred``.
+        self.presat = 0
+        #: Predecessor count at end of discovery — needed to re-arm a
+        #: persistent task graph between iterations.
+        self.npred_initial = 0
+        self.successors: list[Task] = []
+        #: Most recent successor an edge was created towards.  Sequential
+        #: task submission makes duplicate-edge detection O(1): a duplicate
+        #: can only be the immediately preceding edge (optimization (b)).
+        self.last_successor: Optional[Task] = None
+        self.persistent = False
+        self.is_stub = is_stub
+        #: Scheduled ahead of ordinary ready tasks (communication path).
+        self.priority = False
+        #: Executes on the simulated accelerator (see repro.accel).
+        self.device = False
+        self.created_at = float("nan")
+        self.started_at = float("nan")
+        self.completed_at = float("nan")
+        self.worker = -1
+        #: True while a detached MPI request posted by this task is in
+        #: flight; the task only completes (releasing successors) when the
+        #: request does — the OpenMP ``detach(event)`` clause of Listing 1.
+        self.detach_pending = False
+        #: A task becomes *armed* when its creation (or persistent replay
+        #: re-instancing) finishes on the producer thread.  Predecessors may
+        #: complete while the producer is still paying the creation cost;
+        #: readiness is only actioned once armed.
+        self.armed = False
+
+    # ------------------------------------------------------------------
+    def reset_for_replay(self) -> None:
+        """Re-arm a persistent task for the next iteration (§3.2).
+
+        Only the dynamic execution state is cleared; the successor lists —
+        the expensive part of discovery — are kept, which is exactly the
+        saving the persistent TDG extension provides.
+        """
+        self.state = TaskState.CREATED
+        self.npred = self.npred_initial
+        self.started_at = float("nan")
+        self.completed_at = float("nan")
+        self.worker = -1
+        self.detach_pending = False
+        self.armed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def completed(self) -> bool:
+        """Whether the task has fully completed (body + detach event)."""
+        return self.state == TaskState.COMPLETED
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Task(tid={self.tid}, name={self.name!r}, state={self.state.name},"
+            f" npred={self.npred}, nsucc={len(self.successors)})"
+        )

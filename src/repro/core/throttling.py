@@ -1,0 +1,63 @@
+"""Task throttling: bounding runtime overhead and memory use (§5).
+
+Production runtimes bound the number of *ready* tasks that may co-exist
+(GCC/LLVM); MPC-OMP adds a bound on the *total* number of live tasks, ready
+or not, which is the one that matters for dependent tasks — many successors
+can exist without being ready.  When a bound is hit the producer thread stops
+discovering and consumes tasks instead, which limits the scheduler's vision
+of the TDG and defeats depth-first scheduling (the paper's argument for why
+GCC/LLVM would not benefit from faster discovery at fine grain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True, slots=True)
+class ThrottleConfig:
+    """Throttling thresholds; ``None`` disables a bound.
+
+    Attributes
+    ----------
+    ready_cap:
+        Maximum number of ready tasks (GCC/LLVM style).
+    total_cap:
+        Maximum number of live tasks, ready or not (MPC-OMP style;
+        the paper's default is 10,000,000).
+    """
+
+    ready_cap: Optional[int] = None
+    total_cap: Optional[int] = 10_000_000
+
+    def __post_init__(self) -> None:
+        for name in ("ready_cap", "total_cap"):
+            v = getattr(self, name)
+            if v is not None and v < 1:
+                raise ValueError(f"{name} must be >= 1 or None, got {v}")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def disabled(cls) -> "ThrottleConfig":
+        """No throttling at all (LLVM with KMP task throttling off)."""
+        return cls(ready_cap=None, total_cap=None)
+
+    @classmethod
+    def mpc_default(cls) -> "ThrottleConfig":
+        """MPC-OMP's default: total-task cap of 10M, no ready cap."""
+        return cls(ready_cap=None, total_cap=10_000_000)
+
+    @classmethod
+    def ready_bound(cls, cap: int) -> "ThrottleConfig":
+        """GCC/LLVM-style ready-task bound."""
+        return cls(ready_cap=cap, total_cap=None)
+
+    # ------------------------------------------------------------------
+    def should_block(self, n_ready: int, n_live: int) -> bool:
+        """Whether the producer must stop discovering and consume instead."""
+        if self.ready_cap is not None and n_ready >= self.ready_cap:
+            return True
+        if self.total_cap is not None and n_live >= self.total_cap:
+            return True
+        return False

@@ -1,0 +1,89 @@
+"""Byte-capacity LRU cache over data chunks.
+
+The cache model works on *chunks* — the per-task data blocks that workload
+builders declare as task footprints — rather than individual cache lines.
+This keeps the simulation tractable at millions of task executions while
+still capturing the effect the paper measures: whether a successor task finds
+its predecessor's output resident in L1/L2/L3 or must stream it from DRAM.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+from repro.util.validation import check_positive
+
+
+class LRUCache:
+    """An LRU set of chunks bounded by total bytes.
+
+    Chunks may have heterogeneous sizes (task footprints shrink as TPL
+    grows).  A chunk larger than the capacity is never resident.
+    """
+
+    __slots__ = ("capacity", "_entries", "_used")
+
+    def __init__(self, capacity_bytes: int):
+        check_positive("capacity_bytes", capacity_bytes)
+        self.capacity = int(capacity_bytes)
+        self._entries: OrderedDict[int, int] = OrderedDict()
+        self._used = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently resident."""
+        return self._used
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, chunk: int) -> bool:
+        return chunk in self._entries
+
+    def chunks(self) -> Iterator[int]:
+        """Resident chunk ids from least to most recently used."""
+        return iter(self._entries)
+
+    # ------------------------------------------------------------------
+    def touch(self, chunk: int) -> bool:
+        """Mark ``chunk`` most-recently-used; return whether it was resident."""
+        entries = self._entries
+        if chunk in entries:
+            entries.move_to_end(chunk)
+            return True
+        return False
+
+    def insert(self, chunk: int, nbytes: int) -> None:
+        """Install ``chunk`` (evicting LRU chunks as needed).
+
+        Re-inserting a resident chunk with a different size updates it.
+        Oversized chunks (> capacity) bypass the cache entirely, as streaming
+        accesses bypass real caches' useful retention.
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        entries = self._entries
+        old = entries.pop(chunk, None)
+        if old is not None:
+            self._used -= old
+        if nbytes > self.capacity:
+            return
+        while self._used + nbytes > self.capacity and entries:
+            _, evicted = entries.popitem(last=False)
+            self._used -= evicted
+        self._used += nbytes
+        entries[chunk] = nbytes
+
+    def invalidate(self, chunk: int) -> bool:
+        """Drop ``chunk`` if resident; return whether it was."""
+        nbytes = self._entries.pop(chunk, None)
+        if nbytes is None:
+            return False
+        self._used -= nbytes
+        return True
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._used = 0

@@ -1,0 +1,210 @@
+"""Cache hierarchy: private L1/L2 per worker, shared L3, DRAM contention.
+
+This is the substrate behind the paper's Fig. 2 (d,e,f): per-task work time
+depends on where the task's footprint is found, misses are counted per level
+(the PAPI L1DCM/L2DCM/L3CM counters), and DRAM bandwidth is shared among the
+workers concurrently touching memory — producing work-time inflation at high
+parallelism and deflation when idleness reduces pressure (§4.1's observation
+above TPL 2,176).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.task import FootprintChunk
+from repro.memory.cache import LRUCache
+from repro.memory.machine import MachineSpec
+
+
+@dataclass(slots=True)
+class MemCounters:
+    """Hardware-counter-style accumulators (PAPI substitute).
+
+    Misses are counted in cache lines, like the billions-of-misses axes of
+    Fig. 2 (e); stalls in cycles like Fig. 2 (f).
+    """
+
+    l1_misses: int = 0
+    l2_misses: int = 0
+    l3_misses: int = 0
+    l1_stall_cycles: float = 0.0
+    l2_stall_cycles: float = 0.0
+    l3_stall_cycles: float = 0.0
+    bytes_l1: int = 0
+    bytes_l2: int = 0
+    bytes_l3: int = 0
+    bytes_dram: int = 0
+
+    @property
+    def total_stall_cycles(self) -> float:
+        return self.l1_stall_cycles + self.l2_stall_cycles + self.l3_stall_cycles
+
+    def merge(self, other: "MemCounters") -> None:
+        self.l1_misses += other.l1_misses
+        self.l2_misses += other.l2_misses
+        self.l3_misses += other.l3_misses
+        self.l1_stall_cycles += other.l1_stall_cycles
+        self.l2_stall_cycles += other.l2_stall_cycles
+        self.l3_stall_cycles += other.l3_stall_cycles
+        self.bytes_l1 += other.bytes_l1
+        self.bytes_l2 += other.bytes_l2
+        self.bytes_l3 += other.bytes_l3
+        self.bytes_dram += other.bytes_dram
+
+
+@dataclass(slots=True)
+class AccessResult:
+    """Outcome of one task's footprint traversal."""
+
+    time: float = 0.0
+    bytes_dram: int = 0
+
+
+class MemoryHierarchy:
+    """The cache/DRAM model of one shared-memory domain.
+
+    One instance per simulated MPI process.  Not thread-safe — the DES is
+    single-threaded by construction.
+    """
+
+    def __init__(self, machine: MachineSpec):
+        self.machine = machine
+        self._l1 = [LRUCache(machine.l1_bytes) for _ in range(machine.n_cores)]
+        self._l2 = [LRUCache(machine.l2_bytes) for _ in range(machine.n_cores)]
+        self._l3 = LRUCache(machine.l3_bytes)
+        self.counters = MemCounters()
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Cold caches and zeroed counters."""
+        for c in self._l1:
+            c.clear()
+        for c in self._l2:
+            c.clear()
+        self._l3.clear()
+        self.counters = MemCounters()
+
+    # ------------------------------------------------------------------
+    def _lines(self, nbytes: int) -> int:
+        lb = self.machine.line_bytes
+        return (nbytes + lb - 1) // lb
+
+    def access(
+        self,
+        worker: int,
+        footprint: Sequence[FootprintChunk],
+        dram_sharers: int = 1,
+    ) -> AccessResult:
+        """Charge one task's footprint against the hierarchy.
+
+        Parameters
+        ----------
+        worker:
+            Index of the executing core (selects the private L1/L2).
+        footprint:
+            ``(chunk id, bytes)`` pairs the task reads/writes.
+        dram_sharers:
+            Number of cores concurrently generating DRAM traffic; the
+            aggregate DRAM bandwidth is divided among them.
+
+        Returns the memory time and DRAM bytes; counters accumulate on
+        :attr:`counters`.
+        """
+        if worker < 0 or worker >= self.machine.n_cores:
+            raise IndexError(f"worker {worker} out of range")
+        m = self.machine
+        l1 = self._l1[worker]
+        l2 = self._l2[worker]
+        l3 = self._l3
+        ctr = self.counters
+        eff_dram_bw = m.dram_bw / max(1, dram_sharers)
+        time = 0.0
+        bytes_dram = 0
+        for chunk, nbytes in footprint:
+            if nbytes <= 0:
+                continue
+            lines = self._lines(nbytes)
+            if l1.touch(chunk):
+                ctr.bytes_l1 += nbytes
+                time += nbytes / m.l1_bw
+            elif l2.touch(chunk):
+                ctr.l1_misses += lines
+                ctr.l1_stall_cycles += lines * m.l1_lat_cycles
+                ctr.bytes_l2 += nbytes
+                time += nbytes / m.l2_bw
+                l1.insert(chunk, nbytes)
+            elif l3.touch(chunk):
+                ctr.l1_misses += lines
+                ctr.l2_misses += lines
+                ctr.l1_stall_cycles += lines * m.l1_lat_cycles
+                ctr.l2_stall_cycles += lines * m.l2_lat_cycles
+                ctr.bytes_l3 += nbytes
+                time += nbytes / m.l3_bw
+                l2.insert(chunk, nbytes)
+                l1.insert(chunk, nbytes)
+            else:
+                ctr.l1_misses += lines
+                ctr.l2_misses += lines
+                ctr.l3_misses += lines
+                ctr.l1_stall_cycles += lines * m.l1_lat_cycles
+                ctr.l2_stall_cycles += lines * m.l2_lat_cycles
+                ctr.l3_stall_cycles += lines * m.l3_lat_cycles
+                ctr.bytes_dram += nbytes
+                bytes_dram += nbytes
+                time += nbytes / eff_dram_bw
+                l3.insert(chunk, nbytes)
+                l2.insert(chunk, nbytes)
+                l1.insert(chunk, nbytes)
+        return AccessResult(time=time, bytes_dram=bytes_dram)
+
+    # ------------------------------------------------------------------
+    def stream_time(self, nbytes: int, threads: int) -> float:
+        """Time for ``threads`` cores to jointly stream ``nbytes`` from DRAM.
+
+        Used by the parallel-for (BSP) simulator: mesh-wide loops touch the
+        whole workset, which exceeds every cache level, so each loop streams
+        its footprint at the shared DRAM bandwidth (§2.1).
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        threads = max(1, min(threads, self.machine.n_cores))
+        lines = self._lines(nbytes)
+        self.counters.l1_misses += lines
+        self.counters.l2_misses += lines
+        self.counters.l3_misses += lines
+        self.counters.l3_stall_cycles += lines * self.machine.l3_lat_cycles
+        self.counters.bytes_dram += nbytes
+        return nbytes / self.machine.dram_bw
+
+    def stream(self, footprint: Sequence[FootprintChunk], threads: int) -> float:
+        """Chunk-aware streaming for fork-join loops.
+
+        Each chunk (typically one whole field group) goes through the
+        shared L3 LRU: a loop sequence whose total workset fits the L3
+        becomes cache-resident (strong-scaled tiny meshes), while a large
+        workset cycles and pays DRAM bandwidth on every loop — the
+        no-temporal-reuse property of §2.1.
+        """
+        threads = max(1, min(threads, self.machine.n_cores))
+        m = self.machine
+        ctr = self.counters
+        l3 = self._l3
+        time = 0.0
+        for chunk, nbytes in footprint:
+            if nbytes <= 0:
+                continue
+            lines = self._lines(nbytes)
+            ctr.l1_misses += lines
+            ctr.l2_misses += lines
+            if l3.touch(chunk):
+                ctr.bytes_l3 += nbytes
+                time += nbytes / (m.l3_bw * threads)
+            else:
+                ctr.l3_misses += lines
+                ctr.l3_stall_cycles += lines * m.l3_lat_cycles
+                ctr.bytes_dram += nbytes
+                time += nbytes / m.dram_bw
+                l3.insert(chunk, nbytes)
+        return time

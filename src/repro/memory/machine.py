@@ -1,0 +1,148 @@
+"""Machine descriptions: the two node types used in the paper's evaluation.
+
+The simulator does not model micro-architecture; it needs per-level cache
+capacities, per-level effective bandwidths/latencies and an aggregate DRAM
+bandwidth that concurrent workers share.  The two presets correspond to the
+paper's testbeds:
+
+- ``skylake_8168()``: 24-core Intel Xeon Platinum 8168 @ 2.7 GHz sharing one
+  NUMA domain (§2, intra-node experiments);
+- ``epyc_7763_numa()``: one NUMA domain of an AMD EPYC 7763 — 16 cores, the
+  unit the paper binds one MPI process to (§4).
+
+Numbers are nominal, not measured: the reproduction targets performance
+*shape*, and every constant is overridable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.util.units import GiB, KiB, MiB
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True, slots=True)
+class MachineSpec:
+    """One shared-memory domain (the scope of one simulated MPI process)."""
+
+    name: str
+    #: Hardware threads available to the OpenMP runtime.
+    n_cores: int
+    #: Core clock, used only to convert stall cycles to/from seconds.
+    freq_hz: float
+    #: Effective scalar+SIMD execution rate per core, flop/s.
+    flops_per_core: float
+    #: Private cache capacities per core.
+    l1_bytes: int
+    l2_bytes: int
+    #: Shared last-level cache capacity for the whole domain.
+    l3_bytes: int
+    #: Effective per-core bandwidth when hitting each level, bytes/s.
+    l1_bw: float
+    l2_bw: float
+    l3_bw: float
+    #: Aggregate DRAM bandwidth of the domain, shared by active cores.
+    dram_bw: float
+    #: Miss latencies in cycles, charged per missed cache line (stall model).
+    l1_lat_cycles: int
+    l2_lat_cycles: int
+    l3_lat_cycles: int
+    #: Cache line size for miss counting.
+    line_bytes: int = 64
+    #: DRAM capacity (used to size workloads "filling 78% of DRAM").
+    dram_bytes: int = 96 * GiB
+
+    def __post_init__(self) -> None:
+        check_positive("n_cores", self.n_cores)
+        check_positive("freq_hz", self.freq_hz)
+        check_positive("flops_per_core", self.flops_per_core)
+        for nm in ("l1_bytes", "l2_bytes", "l3_bytes", "line_bytes", "dram_bytes"):
+            check_positive(nm, getattr(self, nm))
+        for nm in ("l1_bw", "l2_bw", "l3_bw", "dram_bw"):
+            check_positive(nm, getattr(self, nm))
+        if not self.l1_bytes <= self.l2_bytes <= self.l3_bytes:
+            raise ValueError("cache capacities must be non-decreasing L1<=L2<=L3")
+
+    # ------------------------------------------------------------------
+    def with_cores(self, n_cores: int) -> "MachineSpec":
+        """Same machine with a different core count (scaled experiments)."""
+        return replace(self, n_cores=n_cores)
+
+    def scaled(self, factor: float) -> "MachineSpec":
+        """Scale cache/DRAM capacities by ``factor`` (downscaled benches).
+
+        Scaling the *machine* together with the *problem* preserves the
+        footprint-to-capacity ratios that drive the paper's TPL curves.
+        """
+        check_positive("factor", factor)
+        return replace(
+            self,
+            l1_bytes=max(1, int(self.l1_bytes * factor)),
+            l2_bytes=max(1, int(self.l2_bytes * factor)),
+            l3_bytes=max(1, int(self.l3_bytes * factor)),
+            dram_bytes=max(1, int(self.dram_bytes * factor)),
+        )
+
+
+def skylake_8168() -> MachineSpec:
+    """24-core Intel Xeon Platinum 8168 NUMA domain (paper §2)."""
+    return MachineSpec(
+        name="skylake-8168",
+        n_cores=24,
+        freq_hz=2.7e9,
+        flops_per_core=4.0e9,
+        l1_bytes=32 * KiB,
+        l2_bytes=1 * MiB,
+        l3_bytes=33 * MiB,
+        l1_bw=150e9,
+        l2_bw=80e9,
+        l3_bw=30e9,
+        dram_bw=110e9,
+        l1_lat_cycles=12,
+        l2_lat_cycles=40,
+        l3_lat_cycles=200,
+        dram_bytes=96 * GiB,
+    )
+
+
+def epyc_7763_numa() -> MachineSpec:
+    """One NUMA domain (16 cores) of an AMD EPYC 7763 (paper §4)."""
+    return MachineSpec(
+        name="epyc-7763-numa",
+        n_cores=16,
+        freq_hz=2.45e9,
+        flops_per_core=4.5e9,
+        l1_bytes=32 * KiB,
+        l2_bytes=512 * KiB,
+        l3_bytes=64 * MiB,
+        l1_bw=160e9,
+        l2_bw=90e9,
+        l3_bw=40e9,
+        dram_bw=50e9,
+        l1_lat_cycles=12,
+        l2_lat_cycles=46,
+        l3_lat_cycles=180,
+        dram_bytes=64 * GiB,
+    )
+
+
+def tiny_test_machine(n_cores: int = 4) -> MachineSpec:
+    """A small machine for unit tests: tiny caches, round numbers."""
+    return MachineSpec(
+        name="tiny",
+        n_cores=n_cores,
+        freq_hz=1e9,
+        flops_per_core=1e9,
+        l1_bytes=1 * KiB,
+        l2_bytes=8 * KiB,
+        l3_bytes=64 * KiB,
+        l1_bw=100e9,
+        l2_bw=50e9,
+        l3_bw=25e9,
+        dram_bw=10e9,
+        l1_lat_cycles=4,
+        l2_lat_cycles=12,
+        l3_lat_cycles=40,
+        dram_bytes=1 * GiB,
+    )

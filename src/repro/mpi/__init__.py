@@ -1,0 +1,14 @@
+"""Simulated MPI: network model, requests, and the matching communicator."""
+
+from repro.mpi.network import NetworkSpec, bxi_like, slow_ethernet
+from repro.mpi.request import Request, RequestState
+from repro.mpi.comm import Communicator
+
+__all__ = [
+    "NetworkSpec",
+    "bxi_like",
+    "slow_ethernet",
+    "Request",
+    "RequestState",
+    "Communicator",
+]

@@ -1,0 +1,77 @@
+"""Interconnect model: latency/bandwidth, eager vs rendezvous, collectives.
+
+Calibrated loosely on the paper's testbed (Atos BXI V2, Open MPI 4.1.4): the
+paper notes that for LULESH's message sizes the O(1)-byte (corner) and
+O(s)-byte (edge) requests use the *eager* protocol while O(s²)-byte (face)
+requests go through *rendezvous* — the protocol threshold here is set so the
+same split happens at the reproduction's problem sizes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.units import KiB, us
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkSpec:
+    """First-order (Hockney-style) network parameters."""
+
+    #: One-way point-to-point latency, seconds.
+    latency: float = 1.5 * us
+    #: Point-to-point bandwidth, bytes/s (BXI V2 ~ 25 GB/s nominal).
+    bandwidth: float = 12.5e9
+    #: Messages up to this size use the eager protocol.
+    eager_threshold: int = 64 * KiB
+    #: Per-stage latency of the reduction tree used by (I)Allreduce.
+    allreduce_alpha: float = 2.0 * us
+    #: Bandwidth term of the reduction, bytes/s.
+    allreduce_beta_bw: float = 8.0e9
+
+    def __post_init__(self) -> None:
+        check_non_negative("latency", self.latency)
+        check_positive("bandwidth", self.bandwidth)
+        check_non_negative("eager_threshold", self.eager_threshold)
+        check_non_negative("allreduce_alpha", self.allreduce_alpha)
+        check_positive("allreduce_beta_bw", self.allreduce_beta_bw)
+
+    # ------------------------------------------------------------------
+    def is_eager(self, nbytes: int) -> bool:
+        """Whether a message of this size ships eagerly."""
+        return nbytes <= self.eager_threshold
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Wire time of a point-to-point payload."""
+        return self.latency + nbytes / self.bandwidth
+
+    def allreduce_time(self, n_ranks: int, nbytes: int) -> float:
+        """Cost of the reduction once every rank has joined.
+
+        Recursive-doubling style: 2·ceil(log2 P) stages of latency plus the
+        payload term.  For P = 1 this is just a local copy (near zero).
+        """
+        if n_ranks < 1:
+            raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+        if n_ranks == 1:
+            return nbytes / self.allreduce_beta_bw
+        stages = 2 * math.ceil(math.log2(n_ranks))
+        return stages * self.allreduce_alpha + nbytes / self.allreduce_beta_bw
+
+
+def bxi_like() -> NetworkSpec:
+    """Default interconnect resembling the paper's BXI V2 fabric."""
+    return NetworkSpec()
+
+
+def slow_ethernet() -> NetworkSpec:
+    """A deliberately slow network for contrast experiments."""
+    return NetworkSpec(
+        latency=30 * us,
+        bandwidth=1.2e9,
+        eager_threshold=8 * KiB,
+        allreduce_alpha=40 * us,
+        allreduce_beta_bw=0.8e9,
+    )

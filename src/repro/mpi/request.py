@@ -1,0 +1,85 @@
+"""MPI request objects tracked by the simulated communicator."""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional
+
+from repro.core.program import CommKind
+
+
+class RequestState(enum.IntEnum):
+    PENDING = 0
+    COMPLETED = 1
+
+
+class Request:
+    """One in-flight non-blocking MPI operation."""
+
+    __slots__ = (
+        "rid",
+        "kind",
+        "rank",
+        "peer",
+        "tag",
+        "nbytes",
+        "post_time",
+        "complete_time",
+        "state",
+        "_callbacks",
+    )
+
+    def __init__(
+        self,
+        rid: int,
+        kind: CommKind,
+        rank: int,
+        peer: int,
+        tag: int,
+        nbytes: int,
+        post_time: float,
+    ) -> None:
+        self.rid = rid
+        self.kind = kind
+        self.rank = rank
+        self.peer = peer
+        self.tag = tag
+        self.nbytes = nbytes
+        self.post_time = post_time
+        self.complete_time = float("nan")
+        self.state = RequestState.PENDING
+        self._callbacks: list[Callable[["Request"], None]] = []
+
+    # ------------------------------------------------------------------
+    def on_complete(self, fn: Callable[["Request"], None]) -> None:
+        """Register a completion callback (fires immediately if done)."""
+        if self.state == RequestState.COMPLETED:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def fire_completion(self, time: float) -> None:
+        """Mark completed at ``time`` and invoke callbacks (communicator use)."""
+        if self.state == RequestState.COMPLETED:
+            raise RuntimeError(f"request {self.rid} completed twice")
+        self.state = RequestState.COMPLETED
+        self.complete_time = time
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+    @property
+    def done(self) -> bool:
+        return self.state == RequestState.COMPLETED
+
+    @property
+    def duration(self) -> float:
+        """Posting-to-completion time — the paper's c(r)."""
+        return self.complete_time - self.post_time
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"Request({self.rid}, {self.kind.name}, rank={self.rank}, "
+            f"peer={self.peer}, tag={self.tag}, nbytes={self.nbytes}, "
+            f"state={self.state.name})"
+        )

@@ -1,0 +1,82 @@
+"""Parallel time breakdown (§2.3.1, adapted from Tallent & Mellor-Crummey).
+
+Definitions, applied to the dependent-tasking model:
+
+- **work**: time spent within a task body;
+- **overhead**: time outside a task body while ready tasks exist;
+- **idleness**: time outside a task body while no task is ready;
+- **discovery**: the producer thread's task creation time, reported
+  separately (the green dotted curves of Figs. 1/2/6/7/9).
+
+The simulator accumulates work/overhead exactly; idleness is the remainder
+of each thread's timeline.  Times are cumulated and averaged on cores as in
+the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - avoid a circular import at runtime
+    from repro.runtime.result import RunResult
+
+
+@dataclass(frozen=True, slots=True)
+class Breakdown:
+    """Averaged-on-threads time breakdown of one run."""
+
+    name: str
+    n_threads: int
+    makespan: float
+    work_avg: float
+    overhead_avg: float
+    idle_avg: float
+    discovery: float
+    work_total: float
+    idle_total: float
+    overhead_total: float
+
+    # ------------------------------------------------------------------
+    @property
+    def accounted_avg(self) -> float:
+        """work + overhead + idle (+ discovery/threads) ~= makespan."""
+        return (
+            self.work_avg
+            + self.overhead_avg
+            + self.idle_avg
+            + self.discovery / self.n_threads
+        )
+
+    def row(self) -> dict[str, float]:
+        """Dict row for table rendering."""
+        return {
+            "makespan": self.makespan,
+            "work": self.work_avg,
+            "idle": self.idle_avg,
+            "overhead": self.overhead_avg,
+            "discovery": self.discovery,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: total={self.makespan:.3f}s work={self.work_avg:.3f}s "
+            f"idle={self.idle_avg:.3f}s overhead={self.overhead_avg:.3f}s "
+            f"discovery={self.discovery:.3f}s (avg on {self.n_threads} threads)"
+        )
+
+
+def breakdown_of(result: "RunResult") -> Breakdown:
+    """Compute the §2.3.1 breakdown from a run result."""
+    return Breakdown(
+        name=result.name,
+        n_threads=result.n_threads,
+        makespan=result.makespan,
+        work_avg=result.work_avg,
+        overhead_avg=result.overhead_avg,
+        idle_avg=result.idle_avg,
+        discovery=result.discovery_busy,
+        work_total=result.work_total,
+        idle_total=result.idle_total,
+        overhead_total=result.overhead_total,
+    )

@@ -1,0 +1,160 @@
+"""Runtime cost calibration: the constants behind discovery and scheduling.
+
+The paper's Table 2 lets us back out the cost structure of TDG discovery on
+the producer thread: at ~94M edges for ~2.9M tasks the unoptimized discovery
+takes 83.4 s, i.e. edge processing (~0.8 us each) dominates task descriptor
+allocation (~1.5 us) and per-address dependence hashing (~0.25 us).  The
+persistent replay costs ~0.44 us per task (2.12 s for 15 replayed iterations
+of ~181k tasks plus one full discovery), which a per-task constant plus a
+per-firstprivate-byte memcpy term reproduces.
+
+All constants are dataclass fields so experiments can re-calibrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.dependences import ResolutionResult
+from repro.core.program import TaskSpec
+from repro.util.units import ns, us
+from repro.util.validation import check_non_negative
+
+
+@dataclass(frozen=True, slots=True)
+class DiscoveryCosts:
+    """Producer-thread costs of creating one task (§3's target)."""
+
+    #: Task descriptor allocation, ICV capture, closure setup.
+    c_task: float = 1.5 * us
+    #: Hash-map lookup/insert per ``depend`` address.
+    c_dep: float = 0.25 * us
+    #: Materializing one edge (predecessor successor-list append, atomic
+    #: refcount on the predecessor).
+    c_edge: float = 0.8 * us
+    #: Detecting-and-skipping a duplicate edge (optimization (b)): cheaper
+    #: than creating it, but not free — Table 2 shows (b) alone leaves
+    #: discovery at 67.5 s despite halving the edges.
+    c_edge_skip: float = 0.55 * us
+    #: Checking a completed predecessor and pruning the edge.
+    c_prune: float = 0.3 * us
+    #: Creating an empty redirect node (optimization (c)).
+    c_redirect: float = 1.5 * us
+    #: Persistent replay: fixed per-task re-arm cost...
+    c_replay: float = 0.25 * us
+    #: ...plus the firstprivate memcpy (8-100 bytes per LULESH task).
+    c_fp_byte: float = 2.0 * ns
+
+    def __post_init__(self) -> None:
+        for f in (
+            "c_task",
+            "c_dep",
+            "c_edge",
+            "c_edge_skip",
+            "c_prune",
+            "c_redirect",
+            "c_replay",
+            "c_fp_byte",
+        ):
+            check_non_negative(f, getattr(self, f))
+
+    # ------------------------------------------------------------------
+    def scaled(self, factor: float) -> "DiscoveryCosts":
+        """All constants multiplied by ``factor``.
+
+        Downscaled reproductions shrink the mesh (and hence per-task work)
+        by orders of magnitude; scaling the per-task runtime costs by the
+        same factor preserves the paper's discovery-to-execution ratios, so
+        TPL-axis shapes (crossovers, best-TPL position) are comparable.
+        """
+        check_non_negative("factor", factor)
+        from dataclasses import replace
+
+        return replace(
+            self,
+            **{
+                f: getattr(self, f) * factor
+                for f in (
+                    "c_task",
+                    "c_dep",
+                    "c_edge",
+                    "c_edge_skip",
+                    "c_prune",
+                    "c_redirect",
+                    "c_replay",
+                    "c_fp_byte",
+                )
+            },
+        )
+
+    def creation_cost(self, spec: TaskSpec, res: ResolutionResult) -> float:
+        """Cost of discovering one task given its resolution outcome."""
+        return (
+            self.c_task
+            + self.c_dep * res.n_addrs
+            + self.c_edge * res.n_edges
+            + self.c_edge_skip * res.n_skipped
+            + self.c_redirect * res.n_redirects
+        )
+
+    def replay_cost(self, spec: TaskSpec) -> float:
+        """Cost of re-instancing one persistent task (§3.2)."""
+        return self.c_replay + self.c_fp_byte * spec.fp_bytes
+
+
+@dataclass(frozen=True, slots=True)
+class SchedulerCosts:
+    """Consumer-side costs charged as *overhead* in the time breakdown."""
+
+    #: Popping from the local deque or the spawn queue.
+    c_pop: float = 0.2 * us
+    #: A successful steal (victim scan + deque synchronization).
+    c_steal: float = 0.8 * us
+    #: Completion bookkeeping (status flip, refcount drop).
+    c_complete: float = 0.4 * us
+    #: Releasing one successor (atomic decrement + readiness check).
+    c_release: float = 0.05 * us
+    #: Posting an MPI request from a task body.
+    c_post: float = 1.0 * us
+    #: Delay between an MPI request completing and the polling runtime
+    #: noticing it at a scheduling point (MPC-OMP polls on those).
+    c_poll: float = 2.0 * us
+    #: Shared-structure contention: extra cost per concurrently-busy thread
+    #: when popping from a shared queue (spawn/priority/steal).  §4.3
+    #: attributes HPCG's fine-grain degradation to "more threads accessing
+    #: more often shared data structure, such as the task dependency graph".
+    c_contention: float = 0.02 * us
+
+    def __post_init__(self) -> None:
+        for f in (
+            "c_pop",
+            "c_steal",
+            "c_complete",
+            "c_release",
+            "c_post",
+            "c_poll",
+            "c_contention",
+        ):
+            check_non_negative(f, getattr(self, f))
+
+    def scaled(self, factor: float) -> "SchedulerCosts":
+        """All constants multiplied by ``factor`` (see
+        :meth:`DiscoveryCosts.scaled`)."""
+        check_non_negative("factor", factor)
+        from dataclasses import replace
+
+        return replace(
+            self,
+            **{
+                f: getattr(self, f) * factor
+                for f in (
+                    "c_pop",
+                    "c_steal",
+                    "c_complete",
+                    "c_release",
+                    "c_post",
+                    "c_poll",
+                    "c_contention",
+                )
+            },
+        )

@@ -1,0 +1,686 @@
+"""The simulated task-based OpenMP runtime (MPC-OMP model).
+
+One :class:`TaskRuntime` simulates one process: a producer thread (thread 0)
+walks the user program paying TDG discovery costs, while worker threads
+execute ready tasks under the configured scheduler.  Discovery and execution
+overlap exactly as in the paper — the race between them is what produces
+edge pruning, discovery-bound idleness and the breadth-first degradation the
+paper analyses.
+
+The simulator supports:
+
+- optimizations (a)/(b)/(c) through :class:`~repro.core.dependences.DependenceResolver`
+  (plus (a) at the workload level),
+- the persistent task sub-graph (p) with its implicit per-iteration barrier,
+- task throttling (producer switches to consuming),
+- non-overlapped discovery (Table 1's complementary experiment),
+- MPI tasks with detached completion, wired to a shared
+  :class:`~repro.mpi.comm.Communicator` in cluster runs,
+- the memory-hierarchy work-time model and the §2.3.1 time breakdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.core.dependences import DependenceResolver
+from repro.core.graph import TaskGraph
+from repro.core.optimizations import OptimizationSet
+from repro.core.persistent import PersistentRegion
+from repro.core.program import CommKind, CommSpec, Program, TaskSpec
+from repro.core.task import Task, TaskState
+from repro.core.throttling import ThrottleConfig
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.machine import MachineSpec, skylake_8168
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - circular at runtime
+    from repro.mpi.comm import Communicator
+    from repro.mpi.request import Request
+from repro.accel.accelerator import Accelerator, AcceleratorSpec
+from repro.profiler.trace import CommRecord, TaskTrace
+from repro.runtime.costs import DiscoveryCosts, SchedulerCosts
+from repro.runtime.engine import EventQueue
+from repro.runtime.result import RunResult
+from repro.runtime.scheduler import make_scheduler
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Configuration of one simulated OpenMP process."""
+
+    machine: MachineSpec = field(default_factory=skylake_8168)
+    #: OpenMP threads; defaults to all cores of the machine.
+    n_threads: Optional[int] = None
+    opts: OptimizationSet = field(default_factory=OptimizationSet.none)
+    throttle: ThrottleConfig = field(default_factory=ThrottleConfig.mpc_default)
+    discovery: DiscoveryCosts = field(default_factory=DiscoveryCosts)
+    sched: SchedulerCosts = field(default_factory=SchedulerCosts)
+    #: ``"lifo-df"`` (MPC-OMP) or ``"fifo-bf"``.
+    scheduler: str = "lifo-df"
+    #: Table 1 mode: fully discover the TDG before any execution.
+    non_overlapped: bool = False
+    #: Record the full task trace (needed for Gantt and overlap metrics).
+    trace: bool = False
+    #: Execute task ``body`` callables (numeric validation mode).
+    execute_bodies: bool = False
+    #: Optional simulated accelerator; tasks with ``device=True`` offload
+    #: to it (§7 future-work extension, see repro.accel).
+    accelerator: "Optional[AcceleratorSpec]" = None
+    seed: int = 0
+    name: str = "mpc-omp"
+
+    def __post_init__(self) -> None:
+        n = self.n_threads if self.n_threads is not None else self.machine.n_cores
+        if n < 1:
+            raise ValueError(f"n_threads must be >= 1, got {n}")
+        if n > self.machine.n_cores:
+            raise ValueError(
+                f"n_threads={n} exceeds machine cores {self.machine.n_cores}"
+            )
+        if self.non_overlapped and self.opts.p:
+            raise ValueError(
+                "non_overlapped discovery and persistent graphs are mutually "
+                "exclusive (the persistent barrier already serializes them)"
+            )
+
+    @property
+    def threads(self) -> int:
+        return self.n_threads if self.n_threads is not None else self.machine.n_cores
+
+
+class DeadlockError(RuntimeError):
+    """The simulation drained its event queue with incomplete tasks."""
+
+
+class TaskRuntime:
+    """Simulates one process executing a task :class:`Program`.
+
+    Standalone use::
+
+        result = TaskRuntime(program, config).run()
+
+    Cluster use (all ranks share ``engine`` and ``comm``)::
+
+        rt = TaskRuntime(program, config, engine=engine, comm=comm, rank=r)
+        rt.start()           # for each rank
+        engine.run()         # once
+        result = rt.result() # for each rank
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        config: RuntimeConfig,
+        *,
+        engine: Optional[EventQueue] = None,
+        comm: Optional[Communicator] = None,
+        rank: int = 0,
+    ) -> None:
+        self.program = program
+        self.config = config
+        self.engine = engine if engine is not None else EventQueue()
+        self._own_engine = engine is None
+        if comm is None:
+            # Standalone runs still execute MPI tasks (e.g. the dt
+            # Allreduce): give them a single-rank world.
+            from repro.mpi.comm import Communicator
+            from repro.mpi.network import bxi_like
+
+            comm = Communicator(self.engine, bxi_like(), 1)
+        self.comm = comm
+        self.rank = rank
+        n = config.threads
+        self.n_threads = n
+
+        self.memory = MemoryHierarchy(config.machine)
+        self.accelerator = (
+            Accelerator(config.accelerator, self.engine)
+            if config.accelerator is not None
+            else None
+        )
+        self.scheduler = make_scheduler(config.scheduler, n, seed=config.seed)
+        self.trace = TaskTrace(enabled=config.trace)
+        self.comm_records: list[CommRecord] = []
+
+        self._persistent_mode = config.opts.p and program.persistent_candidate
+        self.graph = TaskGraph(persistent=self._persistent_mode)
+        self.resolver = DependenceResolver(self.graph, config.opts)
+        self._region: Optional[PersistentRegion] = None
+        #: Tasks of the template iteration, 1:1 with its specs (persistent).
+        self._template_tasks: list[Task] = []
+
+        # Producer cursor.
+        self._iter_idx = 0
+        self._task_idx = 0
+        self._region_cursor = 0
+        # idle|creating|consuming|throttled|barrier|taskwait|done
+        self._producer_state = "idle"
+        self._producer_resume_state = "idle"
+        self._producer_event_pending = False
+
+        # Thread state.  Thread 0 is the producer; it executes tasks only
+        # when throttled or once discovery has finished.
+        self._busy = np.zeros(n, dtype=bool)
+        self._busy_count = 0
+        self._idle_workers: set[int] = set(range(1, n))
+        self._producer_free = False  # thread 0 available as a worker
+
+        # Accounting.
+        self.work = np.zeros(n)
+        self.overhead = np.zeros(n)
+        self.discovery_busy = 0.0
+        self._disc_first = float("nan")
+        self._disc_last = float("nan")
+        self._exec_first = float("nan")
+        self._exec_last = float("nan")
+        self._last_activity = 0.0
+        self._alive = 0
+        self._iter_live = 0
+        self._n_completed_user = 0
+        self._n_released_edges = 0
+        self._gate_closed = config.non_overlapped
+        self._discovery_done = False
+        self._started = False
+        self._finished_tasks_pending_detach = 0
+
+    # ==================================================================
+    # public API
+    # ==================================================================
+    def start(self) -> None:
+        """Arm the simulation on the shared engine (cluster mode)."""
+        if self._started:
+            raise RuntimeError("start() called twice")
+        self._started = True
+        if self.program.n_tasks == 0:
+            self._producer_state = "done"
+            return
+        self._schedule_producer()
+
+    def run(self) -> RunResult:
+        """Standalone run to completion."""
+        if not self._own_engine:
+            raise RuntimeError("run() requires an internally-owned engine; use start()")
+        self.start()
+        self.engine.run()
+        return self.result()
+
+    def result(self) -> RunResult:
+        """Collect the result after the engine has drained."""
+        if self._alive != 0 or self._producer_state != "done":
+            raise DeadlockError(
+                f"rank {self.rank}: simulation ended with {self._alive} live "
+                f"tasks and producer state {self._producer_state!r} — "
+                "circular dependences or an unmatched MPI operation"
+            )
+        span = lambda a, b: (0.0, 0.0) if np.isnan(a) or np.isnan(b) else (a, b)
+        res = RunResult(
+            name=self.config.name,
+            n_threads=self.n_threads,
+            makespan=self._last_activity,
+            discovery_busy=self.discovery_busy,
+            discovery_span=span(self._disc_first, self._disc_last),
+            execution_span=span(self._exec_first, self._exec_last),
+            work=self.work.copy(),
+            overhead=self.overhead.copy(),
+            n_tasks=self._n_completed_user,
+            edges=self.graph.stats,
+            mem=self.memory.counters,
+            trace=self.trace if self.config.trace else None,
+            comm=list(self.comm_records),
+            extra={
+                "scheduler": {
+                    "pops_local": self.scheduler.stats.pops_local,
+                    "pops_spawn": self.scheduler.stats.pops_spawn,
+                    "steals": self.scheduler.stats.steals,
+                },
+                "edges_released": self._n_released_edges,
+                "rank": self.rank,
+            },
+        )
+        return res
+
+    # ==================================================================
+    # producer
+    # ==================================================================
+    def _schedule_producer(self) -> None:
+        if not self._producer_event_pending:
+            self._producer_event_pending = True
+            self.engine.push_now(self._producer_step)
+
+    def _producer_step(self) -> None:
+        self._producer_event_pending = False
+        now = self.engine.now
+        state = self._producer_state
+
+        if state == "done":
+            return
+        if state == "creating" or state == "consuming":
+            # A creation/consumption is in flight; its completion event will
+            # re-enter the state machine.
+            return
+
+        if state == "barrier":
+            if self._iter_live > 0:
+                # Barriers are scheduling points: the waiting thread helps
+                # execute pending tasks (otherwise a single-threaded run —
+                # producer == only worker — would deadlock).
+                self._consume_while_waiting("barrier")
+                return
+            self._end_persistent_iteration()
+            # fallthrough to continue walking (state now updated)
+            state = self._producer_state
+            if state == "done":
+                return
+
+        # All iterations submitted?
+        if self._iter_idx >= self.program.n_iterations:
+            self._finish_discovery()
+            return
+
+        iteration = self.program.iterations[self._iter_idx]
+        if self._task_idx >= len(iteration.tasks):
+            # End of one iteration's submissions.
+            self._iter_idx += 1
+            self._task_idx = 0
+            if self._persistent_mode:
+                self._producer_state = "barrier"
+                if self._iter_live == 0:
+                    self._end_persistent_iteration()
+                    if self._producer_state == "done":
+                        return
+                    self._schedule_producer()
+                    return
+                self._consume_while_waiting("barrier")
+                return
+            self._schedule_producer()
+            return
+
+        # Throttling: stop producing, consume instead (never in
+        # non-overlapped mode, where workers are gated and consuming
+        # ourselves forever would still be fine, but blocking would not).
+        if (
+            not self.config.non_overlapped
+            and self.config.throttle.should_block(self.scheduler.n_ready, self._alive)
+        ):
+            if self._consume_one("idle"):
+                return
+            self._producer_state = "throttled"
+            return  # completions will wake us
+
+        spec = iteration.tasks[self._task_idx]
+        replaying = self._persistent_mode and self._region is not None
+        if spec.barrier:
+            # ``taskwait``: the producer blocks until everything submitted
+            # so far has completed, then resumes after the marker.  In
+            # non-overlapped mode execution is gated until discovery ends,
+            # so honouring the wait would deadlock — the marker is a no-op
+            # (the mode already serializes discovery against execution).
+            if self.config.non_overlapped:
+                self._task_idx += 1
+                self._producer_state = "idle"
+                self._schedule_producer()
+                return
+            if self._alive > 0:
+                # taskwait is a scheduling point too (see the barrier case).
+                self._consume_while_waiting("taskwait")
+                return
+            self._task_idx += 1
+            self._producer_state = "idle"
+            self._schedule_producer()
+            return
+        self._task_idx += 1
+        if replaying:
+            task = self._template_tasks[self._region_cursor]
+            self._region_cursor += 1
+            cost = self.config.discovery.replay_cost(spec)
+        else:
+            task = self.graph.new_task(
+                name=spec.name,
+                loop_id=spec.loop_id,
+                iteration=iteration.index,
+                flops=spec.flops,
+                footprint=spec.footprint,
+                fp_bytes=spec.fp_bytes,
+                comm=spec.comm,
+                body=spec.body,
+            )
+            task.priority = spec.priority
+            task.device = spec.device
+            res = self.resolver.resolve(task, spec.depends)
+            task.npred_initial = task.npred + task.presat
+            for stub in res.redirect_tasks:
+                self._arm_stub(stub)
+            if self._persistent_mode:
+                self._template_tasks.append(task)
+            cost = self.config.discovery.creation_cost(spec, res)
+
+        self.discovery_busy += cost
+        if np.isnan(self._disc_first):
+            self._disc_first = now
+        self._producer_state = "creating"
+        self.engine.push(now + cost, self._task_armed, task, iteration.index, spec)
+
+    def _consume_one(self, resume_state: str) -> bool:
+        """Have the producer execute one ready task, then resume.
+
+        Returns True if a task was popped (the producer is now consuming);
+        ``resume_state`` is only used to re-evaluate the wait condition —
+        after consuming, the state machine re-enters ``_producer_step`` and
+        re-derives it (cursors were not advanced).
+        """
+        task, source = self.scheduler.pop(0)
+        if task is None:
+            return False
+        self._producer_state = "consuming"
+        self._producer_resume_state = resume_state
+        now = self.engine.now
+        cost = self._pop_cost(source)
+        self.overhead[0] += cost
+        self._begin_task(0, task, now + cost)
+        return True
+
+    def _consume_while_waiting(self, wait_state: str) -> None:
+        """At a barrier/taskwait scheduling point: help, or park."""
+        if self._consume_one(wait_state):
+            return
+        self._producer_state = wait_state
+        # Completions will re-schedule the producer.
+
+    def _arm_stub(self, stub: Task) -> None:
+        """Stubs become live as soon as the resolver creates them."""
+        stub.armed = True
+        self._alive += 1
+        self._iter_live += 1
+        if stub.npred == 0:
+            # Every predecessor edge was pruned: the stub is trivially done.
+            self._complete_task(stub, -1, self.engine.now)
+
+    def _task_armed(self, task: Task, iteration: int, spec: TaskSpec) -> None:
+        now = self.engine.now
+        self._disc_last = now
+        self._last_activity = max(self._last_activity, now)
+        task.created_at = now
+        task.iteration = iteration
+        # Bodies are part of the firstprivate payload: they may change per
+        # iteration (persistent replay updates them, §3.2).
+        task.body = spec.body
+        task.armed = True
+        self._alive += 1
+        self._iter_live += 1
+        if task.npred == 0 and task.state == TaskState.CREATED:
+            self._make_ready(task, -1)
+        self._producer_state = "idle"
+        self._producer_step_inline()
+
+    def _producer_step_inline(self) -> None:
+        """Continue producing without a queue round-trip when possible."""
+        self._schedule_producer()
+
+    def _end_persistent_iteration(self) -> None:
+        """Implicit barrier reached: finalize or re-arm the persistent graph."""
+        if self._region is None:
+            # First iteration just completed: freeze the region.  Note that
+            # npred_initial was snapshotted at each task's resolution — at
+            # this point every npred is back to 0.
+            template_specs = list(self.program.iterations[0].tasks)
+            self._region = PersistentRegion(
+                graph=self.graph,
+                template=template_specs,
+                user_tasks=self._template_tasks,
+            )
+        # Dropping resolver state at the barrier is what removes
+        # inter-iteration edges (§3.3).
+        self.resolver.reset()
+        if self._iter_idx >= self.program.n_iterations:
+            self._finish_discovery()
+            return
+        # Validate and re-arm for the next iteration.
+        self._region.validate_iteration(self.program.iterations[self._iter_idx])
+        self._region.rearm()
+        self._region_cursor = 0
+        # Stubs are re-armed wholesale; user tasks get walked by the producer.
+        for t in self.graph.tasks:
+            if t.is_stub:
+                t.armed = True
+                self._alive += 1
+                self._iter_live += 1
+        self._producer_state = "idle"
+
+    def _finish_discovery(self) -> None:
+        if self._discovery_done:
+            return
+        self._discovery_done = True
+        self._producer_state = "done"
+        if self._gate_closed:
+            self._gate_closed = False
+            self._wake_workers(self.scheduler.n_ready)
+        # Thread 0 becomes a plain worker.
+        self._producer_free = True
+        self._idle_workers.add(0)
+        self._worker_try(0)
+
+    # ==================================================================
+    # workers
+    # ==================================================================
+    def _pop_cost(self, source: str) -> float:
+        """Scheduler cost of acquiring one task.
+
+        Pops from shared structures (the spawn queue, a steal) pay a
+        contention term growing with the number of busy threads — the
+        shared-TDG contention of §4.3.
+        """
+        sched = self.config.sched
+        if source == "local":
+            return sched.c_pop
+        base = sched.c_steal if source == "steal" else sched.c_pop
+        return base + sched.c_contention * self._busy_count
+
+    def _wake_workers(self, k: int) -> None:
+        """Schedule up to ``k`` idle workers to look for work now."""
+        if self._gate_closed or k <= 0:
+            return
+        woken = 0
+        for w in list(self._idle_workers):
+            if woken >= k:
+                break
+            self._idle_workers.discard(w)
+            self.engine.push_now(self._worker_try, w)
+            woken += 1
+        # The throttled producer also consumes.
+        if self._producer_state == "throttled":
+            self._schedule_producer()
+
+    def _worker_try(self, w: int) -> None:
+        if self._gate_closed or self._busy[w]:
+            return
+        if w == 0 and not self._producer_free:
+            return
+        task, source = self.scheduler.pop(w)
+        if task is None:
+            self._idle_workers.add(w)
+            return
+        now = self.engine.now
+        cost = self._pop_cost(source)
+        self.overhead[w] += cost
+        self._begin_task(w, task, now + cost)
+
+    def _begin_task(self, w: int, task: Task, t_start: float) -> None:
+        """Thread ``w`` starts executing ``task`` at ``t_start``."""
+        self._busy[w] = True
+        self._busy_count += 1
+        task.state = TaskState.RUNNING
+        task.worker = w
+        task.started_at = t_start
+        if np.isnan(self._exec_first):
+            self._exec_first = t_start
+        if task.device and self.accelerator is not None:
+            # The host worker only launches the kernel; the device timeline
+            # completes the task (like a detached MPI request).
+            launch = self.accelerator.spec.launch_overhead
+            self.engine.push(
+                t_start + launch, self._finish_launch, w, task, t_start, launch
+            )
+            return
+        m = self.config.machine
+        flop_time = task.flops / m.flops_per_core
+        mem = self.memory.access(w, task.footprint, dram_sharers=self._busy_count)
+        duration = flop_time + mem.time
+        if task.comm is not None:
+            duration += self.config.sched.c_post
+        self.engine.push(t_start + duration, self._finish_body, w, task, t_start, duration)
+
+    def _finish_body(self, w: int, task: Task, t_start: float, duration: float) -> None:
+        now = self.engine.now
+        self.work[w] += duration
+        self.trace.record(
+            task.tid, task.name, task.loop_id, task.iteration, w, t_start, now
+        )
+        self._busy[w] = False
+        self._busy_count -= 1
+
+        spec = task.comm
+        if spec is not None:
+            req = self._post_comm(task, spec, now)
+            if spec.detached:
+                task.detach_pending = True
+                req.on_complete(self._request_detach_done(task))
+                self._after_worker_task(w, now)
+                return
+            # Blocking wait inside the task: the worker stays parked (not
+            # counted as a DRAM sharer — it is spinning in MPI_Wait).
+            self._busy[w] = True
+            req.on_complete(self._request_blocking_done(task, w, wait_from=now))
+            return
+        self._complete_task(task, w, now)
+        self._after_worker_task(w, now)
+
+    def _finish_launch(self, w: int, task: Task, t_start: float, launch: float) -> None:
+        """Host side of an offloaded task: free the worker, hand the kernel
+        to the accelerator, and complete the task when the device does."""
+        now = self.engine.now
+        self.work[w] += launch
+        self._busy[w] = False
+        self._busy_count -= 1
+        task.detach_pending = True
+
+        def _kernel_done(finish: float, task=task, t_start=t_start) -> None:
+            task.detach_pending = False
+            self.trace.record(
+                task.tid, task.name, task.loop_id, task.iteration, -1, t_start, finish
+            )
+            self._complete_task(task, -1, self.engine.now)
+
+        self.accelerator.submit(task, now, _kernel_done)
+        self._after_worker_task(w, now)
+
+    def _after_worker_task(self, w: int, now: float) -> None:
+        c = self.config.sched.c_complete
+        self.overhead[w] += c
+        self._last_activity = max(self._last_activity, now + c)
+        if w == 0 and self._producer_state == "consuming":
+            # Return to whatever the producer was doing (discovering, or
+            # re-checking a barrier/taskwait condition).
+            self._producer_state = self._producer_resume_state
+            self._schedule_producer()
+            return
+        self.engine.push(now + c, self._worker_try, w)
+
+    # ------------------------------------------------------------------
+    def _post_comm(self, task: Task, spec: CommSpec, now: float) -> Request:
+        if spec.kind == CommKind.ISEND:
+            req = self.comm.isend(self.rank, spec.peer, spec.tag, spec.nbytes)
+        elif spec.kind == CommKind.IRECV:
+            req = self.comm.irecv(self.rank, spec.peer, spec.tag, spec.nbytes)
+        else:
+            req = self.comm.iallreduce(self.rank, spec.nbytes)
+        rec = CommRecord(
+            kind=spec.kind.name.lower(),
+            rank=self.rank,
+            peer=spec.peer,
+            nbytes=spec.nbytes,
+            post_time=now,
+            complete_time=float("nan"),
+            iteration=task.iteration,
+        )
+        self.comm_records.append(rec)
+        req.on_complete(lambda r, rec=rec: setattr(rec, "complete_time", r.complete_time))
+        return req
+
+    def _request_detach_done(self, task: Task):
+        def _cb(req: Request) -> None:
+            # The polling runtime notices completion at the next scheduling
+            # point — model that as a fixed poll delay.
+            self.engine.push(
+                max(req.complete_time, self.engine.now) + self.config.sched.c_poll,
+                self._detach_complete,
+                task,
+            )
+
+        return _cb
+
+    def _detach_complete(self, task: Task) -> None:
+        task.detach_pending = False
+        self._complete_task(task, -1, self.engine.now)
+
+    def _request_blocking_done(self, task: Task, w: int, wait_from: float):
+        def _cb(req: Request) -> None:
+            t = max(req.complete_time, self.engine.now) + self.config.sched.c_poll
+
+            def _resume() -> None:
+                now = self.engine.now
+                # Time spent in MPI_Wait is inside the task body, hence
+                # *work* under the §2.3.1 breakdown definitions.
+                self.work[w] += now - wait_from
+                self._busy[w] = False
+                self._complete_task(task, w, now)
+                self._after_worker_task(w, now)
+
+            self.engine.push(t, _resume)
+
+        return _cb
+
+    # ==================================================================
+    # completion & readiness
+    # ==================================================================
+    def _complete_task(self, task: Task, w: int, now: float) -> None:
+        if task.state == TaskState.COMPLETED:
+            raise RuntimeError(f"task {task.tid} completed twice")
+        if self.config.execute_bodies and task.body is not None:
+            task.body()
+        task.state = TaskState.COMPLETED
+        task.completed_at = now
+        self._last_activity = max(self._last_activity, now)
+        if not task.is_stub:
+            self._exec_last = now if np.isnan(self._exec_last) else max(self._exec_last, now)
+            self._n_completed_user += 1
+        self._alive -= 1
+        self._iter_live -= 1
+        if w >= 0:
+            self.overhead[w] += self.config.sched.c_release * len(task.successors)
+        n_ready_made = 0
+        for succ in task.successors:
+            self._n_released_edges += 1
+            succ.npred -= 1
+            if succ.npred == 0 and succ.armed and succ.state == TaskState.CREATED:
+                self._make_ready(succ, w)
+                n_ready_made += 1
+        if n_ready_made:
+            self._wake_workers(n_ready_made)
+        if self._producer_state in ("throttled", "barrier", "taskwait"):
+            self._schedule_producer()
+
+    def _make_ready(self, task: Task, w: int) -> None:
+        task.state = TaskState.READY
+        if task.is_stub:
+            # Empty redirect node: completes in place, cascading releases.
+            self._complete_task(task, w, self.engine.now)
+            return
+        if w >= 0:
+            self.scheduler.push_local(w, task)
+        else:
+            self.scheduler.push_spawn(task)
+            self._wake_workers(1)

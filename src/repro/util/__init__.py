@@ -1,0 +1,31 @@
+"""Small shared utilities: unit helpers, deterministic RNG, validation."""
+
+from repro.util.units import (
+    GiB,
+    KiB,
+    MiB,
+    us,
+    ns,
+    ms,
+    fmt_bytes,
+    fmt_count,
+    fmt_time,
+)
+from repro.util.rng import make_rng
+from repro.util.validation import check_positive, check_non_negative, check_in
+
+__all__ = [
+    "GiB",
+    "KiB",
+    "MiB",
+    "us",
+    "ns",
+    "ms",
+    "fmt_bytes",
+    "fmt_count",
+    "fmt_time",
+    "make_rng",
+    "check_positive",
+    "check_non_negative",
+    "check_in",
+]

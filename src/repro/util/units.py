@@ -1,0 +1,60 @@
+"""Unit constants and human-readable formatting.
+
+All simulated times in the package are expressed in seconds (floats) and all
+sizes in bytes (ints).  These helpers keep calibration constants readable:
+``c_edge = 650 * ns`` instead of ``6.5e-07``.
+"""
+
+from __future__ import annotations
+
+#: One kibibyte (1024 bytes).
+KiB: int = 1024
+#: One mebibyte.
+MiB: int = 1024 * KiB
+#: One gibibyte.
+GiB: int = 1024 * MiB
+
+#: One nanosecond, in seconds.
+ns: float = 1e-9
+#: One microsecond, in seconds.
+us: float = 1e-6
+#: One millisecond, in seconds.
+ms: float = 1e-3
+
+
+def fmt_time(seconds: float) -> str:
+    """Format a duration with an adaptive unit (ns/us/ms/s)."""
+    if seconds != seconds:  # NaN
+        return "nan"
+    a = abs(seconds)
+    if a >= 1.0:
+        return f"{seconds:.2f}s"
+    if a >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    if a >= 1e-6:
+        return f"{seconds * 1e6:.2f}us"
+    return f"{seconds * 1e9:.0f}ns"
+
+
+def fmt_bytes(n: float) -> str:
+    """Format a byte count with an adaptive binary unit."""
+    a = abs(n)
+    if a >= GiB:
+        return f"{n / GiB:.2f}GiB"
+    if a >= MiB:
+        return f"{n / MiB:.2f}MiB"
+    if a >= KiB:
+        return f"{n / KiB:.2f}KiB"
+    return f"{int(n)}B"
+
+
+def fmt_count(n: float) -> str:
+    """Format a large count with K/M/B suffixes (decimal)."""
+    a = abs(n)
+    if a >= 1e9:
+        return f"{n / 1e9:.2f}B"
+    if a >= 1e6:
+        return f"{n / 1e6:.2f}M"
+    if a >= 1e3:
+        return f"{n / 1e3:.1f}K"
+    return str(int(n))

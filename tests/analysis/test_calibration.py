@@ -1,0 +1,68 @@
+"""Tests for the scaled-experiment calibration helpers."""
+
+import pytest
+
+from repro.analysis.calibration import (
+    COST_SCALE,
+    scale_costs,
+    scaled_epyc,
+    scaled_gcc,
+    scaled_llvm,
+    scaled_mpc,
+    scaled_network,
+    scaled_skylake,
+)
+from repro.apps.lulesh import LuleshConfig
+from repro.mpi.network import bxi_like
+
+
+class TestScaledMachines:
+    def test_skylake_keeps_cores_and_bandwidths(self):
+        m = scaled_skylake()
+        assert m.n_cores == 24
+        from repro.memory.machine import skylake_8168
+
+        assert m.dram_bw == skylake_8168().dram_bw
+
+    def test_l3_below_one_field_group(self):
+        """The key scaling invariant: one LULESH field group must exceed
+        the scaled L3, otherwise the fork-join baseline gets inter-loop
+        reuse the paper's scale forbids."""
+        m = scaled_skylake()
+        cfg = LuleshConfig(s=48, iterations=1, tpl=8)
+        assert cfg.group_bytes("elems", "energy") > m.l3_bytes
+        assert cfg.group_bytes("nodes", "pos") > m.l3_bytes
+
+    def test_epyc_core_count(self):
+        assert scaled_epyc().n_cores == 16
+
+
+class TestScaledCosts:
+    def test_scale_costs_applies_to_both(self):
+        cfg = scaled_mpc()
+        from repro.runtime.costs import DiscoveryCosts, SchedulerCosts
+
+        assert cfg.discovery.c_task == pytest.approx(
+            DiscoveryCosts().c_task * COST_SCALE
+        )
+        assert cfg.sched.c_pop == pytest.approx(SchedulerCosts().c_pop * COST_SCALE)
+
+    def test_custom_factor(self):
+        cfg = scale_costs(scaled_mpc(factor=1.0), 0.5)
+        from repro.runtime.costs import DiscoveryCosts
+
+        assert cfg.discovery.c_task == pytest.approx(DiscoveryCosts().c_task * 0.5)
+
+    def test_presets_inherit_runtime_identity(self):
+        assert scaled_llvm().opts.c and not scaled_llvm().opts.b
+        assert scaled_gcc().scheduler == "fifo-bf"
+        assert scaled_mpc().scheduler == "lifo-df"
+
+
+class TestScaledNetwork:
+    def test_latencies_scaled_bandwidth_kept(self):
+        n = scaled_network()
+        ref = bxi_like()
+        assert n.latency == pytest.approx(ref.latency * COST_SCALE)
+        assert n.allreduce_alpha == pytest.approx(ref.allreduce_alpha * COST_SCALE)
+        assert n.bandwidth == ref.bandwidth

@@ -1,0 +1,75 @@
+"""Tests for the cluster-run helpers (Fig 7/9 plumbing)."""
+
+import pytest
+
+from repro.analysis.calibration import scaled_mpc, scaled_network, scaled_skylake
+from repro.analysis.distributed import run_hpcg_cluster, run_lulesh_cluster
+from repro.apps.hpcg import HpcgConfig
+from repro.apps.lulesh import LuleshConfig
+from repro.cluster import RankGrid
+
+
+GRID = RankGrid(2, 2, 1)
+LCFG = LuleshConfig(s=12, iterations=2, tpl=8, flops_per_item=25.0)
+HCFG = HpcgConfig(n_rows=2048, iterations=2, tpl=8, spmv_sub=2)
+
+
+class TestLuleshCluster:
+    def test_all_ranks_return(self):
+        res = run_lulesh_cluster(GRID, LCFG, n_threads=2, network=scaled_network())
+        assert res.n_ranks == 4
+        assert all(r.n_tasks > 0 for r in res.results)
+
+    def test_exactly_one_profiled_rank(self):
+        res = run_lulesh_cluster(GRID, LCFG, n_threads=2, network=scaled_network())
+        profiled = [r for r in res.results if r.extra.get("profiled")]
+        assert len(profiled) == 1
+        assert profiled[0].trace is not None
+        assert len(profiled[0].trace) > 0
+
+    def test_unprofiled_ranks_have_no_trace(self):
+        res = run_lulesh_cluster(GRID, LCFG, n_threads=2, network=scaled_network())
+        for r in res.results:
+            if not r.extra.get("profiled"):
+                assert r.trace is None
+
+    def test_explicit_profiled_rank(self):
+        res = run_lulesh_cluster(
+            GRID, LCFG, n_threads=2, profiled_rank=3, network=scaled_network()
+        )
+        assert res.results[3].extra.get("profiled")
+
+    def test_opts_accepted_as_string(self):
+        res = run_lulesh_cluster(
+            GRID, LCFG, opts="abcp", n_threads=2, network=scaled_network()
+        )
+        assert res.makespan > 0
+
+    def test_parallel_for_variant(self):
+        res = run_lulesh_cluster(
+            GRID, LCFG, task_based=False, n_threads=2, network=scaled_network()
+        )
+        assert all(r.n_tasks == 0 for r in res.results)
+        assert res.makespan > 0
+
+    def test_base_config_respected(self):
+        base = scaled_mpc(scaled_skylake(4), opts="b", n_threads=4)
+        res = run_lulesh_cluster(
+            GRID, LCFG, opts="abc", base_config=base, network=scaled_network()
+        )
+        # opts override wins over the base config's.
+        assert res.makespan > 0
+
+
+class TestHpcgCluster:
+    def test_runs(self):
+        res = run_hpcg_cluster(GRID, HCFG, n_threads=2, network=scaled_network())
+        assert res.n_ranks == 4
+        assert all(r.n_tasks > 0 for r in res.results)
+
+    def test_collectives_matched_across_ranks(self):
+        res = run_hpcg_cluster(GRID, HCFG, n_threads=2, network=scaled_network())
+        # 2 Iallreduce per CG iteration per rank.
+        for r in res.results:
+            colls = [c for c in r.comm if c.kind == "iallreduce"]
+            assert len(colls) == 2 * HCFG.iterations

@@ -1,0 +1,72 @@
+"""Tests for the discovery-cost fitting utility."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fit import (
+    PAPER_TABLE2,
+    DiscoveryObservation,
+    fit_discovery_costs,
+)
+from repro.runtime.costs import DiscoveryCosts
+
+
+def synth_observations(costs: DiscoveryCosts, rows):
+    out = []
+    for n, d, e, s in rows:
+        t = costs.c_task * n + costs.c_dep * d + costs.c_edge * e + costs.c_edge_skip * s
+        out.append(DiscoveryObservation(n, d, e, s, t))
+    return out
+
+
+class TestFit:
+    def test_exact_recovery_on_synthetic_data(self):
+        truth = DiscoveryCosts(c_task=2e-6, c_dep=3e-7, c_edge=9e-7, c_edge_skip=4e-7)
+        obs = synth_observations(truth, [
+            (1e5, 7e5, 3e6, 0),
+            (1e5, 4e5, 1e6, 2e6),
+            (2e5, 1.4e6, 8e6, 0),
+            (2e5, 8e5, 2e6, 5e6),
+            (5e4, 3e5, 5e5, 1e5),
+        ])
+        fit = fit_discovery_costs(obs)
+        assert fit.relative_residual < 1e-9
+        assert fit.costs.c_task == pytest.approx(2e-6, rel=1e-6)
+        assert fit.costs.c_edge == pytest.approx(9e-7, rel=1e-6)
+
+    def test_non_negative_constants(self):
+        obs = synth_observations(DiscoveryCosts(), [
+            (1e5, 7e5, 3e6, 0), (2e5, 1.4e6, 1e6, 4e6), (3e4, 2e5, 9e5, 1e5),
+        ])
+        fit = fit_discovery_costs(obs)
+        for f in ("c_task", "c_dep", "c_edge", "c_edge_skip"):
+            assert getattr(fit.costs, f) >= 0
+
+    def test_base_fields_preserved(self):
+        base = DiscoveryCosts(c_replay=1.23e-7)
+        obs = synth_observations(DiscoveryCosts(), [
+            (1e5, 7e5, 3e6, 0), (2e5, 1.4e6, 8e6, 0),
+        ])
+        fit = fit_discovery_costs(obs, base=base)
+        assert fit.costs.c_replay == 1.23e-7
+
+    def test_needs_two_observations(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            fit_discovery_costs([DiscoveryObservation(1, 1, 1, 0, 1.0)])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiscoveryObservation(-1, 1, 1, 0, 1.0)
+        with pytest.raises(ValueError):
+            DiscoveryObservation(1, 1, 1, 0, 0.0)
+
+    def test_paper_table2_fits_reasonably(self):
+        """The linear cost model explains the paper's Table 2 to ~15%."""
+        fit = fit_discovery_costs(PAPER_TABLE2)
+        assert fit.relative_residual < 0.15
+        # Edge processing lands in the sub-microsecond range the defaults use.
+        assert 0.1e-6 < fit.costs.c_edge < 3e-6
+
+    def test_str_smoke(self):
+        fit = fit_discovery_costs(PAPER_TABLE2)
+        assert "c_edge" in str(fit)

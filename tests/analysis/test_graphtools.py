@@ -1,0 +1,122 @@
+"""Tests for TDG shape analytics."""
+
+import pytest
+
+from repro.analysis.graphtools import analyze_shape, to_networkx, width_profile
+from repro.core import OptimizationSet, ProgramBuilder
+from repro.memory import tiny_test_machine
+from repro.runtime import RuntimeConfig, TaskRuntime
+
+
+def discover(builder_fn, opts=""):
+    b = ProgramBuilder("g")
+    with b.iteration():
+        builder_fn(b)
+    rt = TaskRuntime(
+        b.build(),
+        RuntimeConfig(
+            machine=tiny_test_machine(2),
+            opts=OptimizationSet.parse(opts),
+            non_overlapped=True,
+        ),
+    )
+    rt.run()
+    return rt.graph
+
+
+class TestToNetworkx:
+    def test_nodes_and_edges(self):
+        g = discover(lambda b: (
+            b.task("a", out=["x"], flops=1.0),
+            b.task("b", inp=["x"], flops=2.0),
+        ))
+        nxg = to_networkx(g)
+        assert nxg.number_of_nodes() == 2
+        assert nxg.number_of_edges() == 1
+        assert nxg.nodes[0]["name"] == "a"
+
+    def test_stub_filtering(self):
+        def build(b):
+            for i in range(3):
+                b.task(f"x{i}", inoutset=["s"], flops=1.0)
+            b.task("r1", inp=["s"], flops=1.0)
+            b.task("r2", inp=["s"], flops=1.0)
+        g = discover(build, opts="c")
+        with_stubs = to_networkx(g, include_stubs=True)
+        without = to_networkx(g, include_stubs=False)
+        assert with_stubs.number_of_nodes() == 6
+        assert without.number_of_nodes() == 5
+
+
+class TestShape:
+    def test_chain(self):
+        def build(b):
+            for i in range(5):
+                b.task(f"t{i}", inout=["x"], flops=10.0)
+        shape = analyze_shape(discover(build))
+        assert shape.depth == 5
+        assert shape.critical_path_weight == pytest.approx(50.0)
+        assert shape.avg_parallelism == pytest.approx(1.0)
+
+    def test_fork_join(self):
+        def build(b):
+            b.task("head", out=["x"], flops=10.0)
+            for i in range(8):
+                b.task(f"w{i}", inp=["x"], out=[("y", i)], flops=10.0)
+            b.task("tail", inp=[("y", i) for i in range(8)], flops=10.0)
+        shape = analyze_shape(discover(build))
+        assert shape.depth == 3
+        assert shape.total_weight == pytest.approx(100.0)
+        assert shape.critical_path_weight == pytest.approx(30.0)
+        assert shape.avg_parallelism == pytest.approx(100.0 / 30.0)
+
+    def test_custom_weight(self):
+        def build(b):
+            b.task("a", out=["x"], flops=1.0)
+            b.task("b", inp=["x"], flops=1.0)
+        shape = analyze_shape(discover(build), weight=lambda t: 7.0)
+        assert shape.total_weight == pytest.approx(14.0)
+
+    def test_empty_graph(self):
+        from repro.core.graph import TaskGraph
+
+        shape = analyze_shape(TaskGraph())
+        assert shape.n_tasks == 0
+        assert shape.avg_parallelism == 0.0
+
+    def test_str(self):
+        def build(b):
+            b.task("a", out=["x"], flops=1.0)
+        assert "avg-parallelism" in str(analyze_shape(discover(build)))
+
+
+class TestWidthProfile:
+    def test_fork_join_profile(self):
+        def build(b):
+            b.task("head", out=["x"], flops=1.0)
+            for i in range(4):
+                b.task(f"w{i}", inp=["x"], out=[("y", i)], flops=1.0)
+            b.task("tail", inp=[("y", i) for i in range(4)], flops=1.0)
+        assert width_profile(discover(build)) == [1, 4, 1]
+
+    def test_lulesh_parallelism_scales_with_tpl(self):
+        """The TDG's average parallelism grows with TPL — what refinement
+        buys before discovery gets in the way."""
+        from repro.apps.lulesh import LuleshConfig, build_task_program
+
+        shapes = {}
+        for tpl in (4, 16):
+            prog = build_task_program(
+                LuleshConfig(s=12, iterations=1, tpl=tpl), opt_a=True
+            )
+            rt = TaskRuntime(
+                prog,
+                RuntimeConfig(
+                    machine=tiny_test_machine(2),
+                    opts=OptimizationSet.abc(),
+                    non_overlapped=True,
+                ),
+            )
+            rt.run()
+            shapes[tpl] = analyze_shape(rt.graph)
+        assert shapes[16].avg_parallelism > shapes[4].avg_parallelism

@@ -1,0 +1,47 @@
+"""Tests for ASCII rendering helpers."""
+
+import pytest
+
+from repro.analysis.tables import fmt_speedup, render_series, render_table
+
+
+class TestRenderTable:
+    def test_basic(self):
+        out = render_table(["a", "b"], [[1, 2], [30, 40]])
+        lines = out.splitlines()
+        assert "| 30 | 40 |" in lines[-2]
+        assert all(len(l) == len(lines[0]) for l in lines)
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="T")
+        assert out.startswith("T\n")
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [[1]])
+
+
+class TestRenderSeries:
+    def test_smoke(self):
+        out = render_series([1, 2, 3], {"t": [1.0, 2.0, 3.0]}, width=20, height=5)
+        assert "t" in out
+        assert "|" in out
+
+    def test_multiple_series_legend(self):
+        out = render_series([1, 2], {"a": [1, 2], "b": [2, 1]})
+        assert "*=a" in out and "o=b" in out
+
+    def test_empty(self):
+        assert "empty" in render_series([], {})
+
+    def test_constant_series(self):
+        out = render_series([1, 2], {"c": [5.0, 5.0]})
+        assert "|" in out
+
+
+class TestSpeedup:
+    def test_format(self):
+        assert fmt_speedup(2.0, 1.0) == "2.00x"
+
+    def test_zero_divisor(self):
+        assert fmt_speedup(1.0, 0.0) == "inf"

@@ -1,0 +1,164 @@
+"""Cholesky app tests: DAG structure, distribution, numerics."""
+
+import numpy as np
+import pytest
+
+from repro.apps.cholesky import (
+    CholeskyConfig,
+    NumericCholesky,
+    build_task_programs,
+    random_spd,
+)
+from repro.cluster.cluster import Cluster
+from repro.core import OptimizationSet
+from repro.memory import tiny_test_machine
+from repro.runtime import RuntimeConfig, TaskRuntime
+
+
+def cfg(**kw):
+    kw.setdefault("machine", tiny_test_machine(4))
+    return RuntimeConfig(**kw)
+
+
+class TestConfig:
+    def test_tile_divisibility(self):
+        with pytest.raises(ValueError, match="divide"):
+            CholeskyConfig(n=100, b=32)
+
+    def test_task_count_formula(self):
+        c = CholeskyConfig(n=4 * 64, b=64)
+        # nt=4: potrf 4, trsm 6, updates 1+3+6=10 -> 20
+        assert c.n_tasks_one_factorization() == 20
+
+    def test_block_cyclic_owner(self):
+        c = CholeskyConfig(n=512, b=64, pr=2, pc=2)
+        assert c.owner(0, 0) == 0
+        assert c.owner(0, 1) == 1
+        assert c.owner(1, 0) == 2
+        assert c.owner(1, 1) == 3
+        assert c.owner(2, 2) == 0
+
+    def test_flop_counts(self):
+        c = CholeskyConfig(n=256, b=64)
+        assert c.gemm_flops == 2 * c.syrk_flops == 2 * c.trsm_flops
+        assert c.potrf_flops < c.trsm_flops
+
+
+class TestSingleRankProgram:
+    def test_task_count(self):
+        c = CholeskyConfig(n=256, b=64, iterations=2)
+        progs = build_task_programs(c)
+        assert len(progs) == 1
+        real = sum(1 for s in progs[0].iterations[0].tasks if not s.barrier)
+        assert 2 * real == 2 * c.n_tasks_one_factorization()
+
+    def test_sync_iterations_appends_taskwait(self):
+        c = CholeskyConfig(n=256, b=64)
+        with_tw = build_task_programs(c, sync_iterations=True)[0]
+        without = build_task_programs(c, sync_iterations=False)[0]
+        assert with_tw.iterations[0].tasks[-1].barrier
+        assert not without.iterations[0].tasks[-1].barrier
+
+    def test_no_comm_tasks_single_rank(self):
+        c = CholeskyConfig(n=256, b=64)
+        prog = build_task_programs(c)[0]
+        assert all(s.comm is None for s in prog.iterations[0].tasks)
+
+    def test_runs_to_completion(self):
+        c = CholeskyConfig(n=256, b=64, iterations=2)
+        prog = build_task_programs(c)[0]
+        r = TaskRuntime(prog, cfg(opts=OptimizationSet.parse("abcp"))).run()
+        assert r.n_tasks == 2 * c.n_tasks_one_factorization()
+
+    def test_opt_abc_no_edge_change(self):
+        """§4.4: the dense regular scheme has no duplicates or inoutset, so
+        (a)/(b)/(c) change nothing."""
+        c = CholeskyConfig(n=320, b=64)
+        prog = build_task_programs(c)[0]
+        r_none = TaskRuntime(prog, cfg(non_overlapped=True)).run()
+        r_abc = TaskRuntime(
+            prog, cfg(non_overlapped=True, opts=OptimizationSet.abc())
+        ).run()
+        assert r_none.edges.created == r_abc.edges.created
+        assert r_abc.edges.duplicates_skipped == 0
+        assert r_abc.edges.redirect_nodes == 0
+
+
+class TestDistributedProgram:
+    def test_total_compute_tasks_partitioned(self):
+        c = CholeskyConfig(n=512, b=64, pr=2, pc=2)
+        progs = build_task_programs(c)
+        total = sum(
+            sum(1 for s in p.iterations[0].tasks if s.comm is None and not s.barrier)
+            for p in progs
+        )
+        assert total == c.n_tasks_one_factorization()
+
+    def test_sends_match_recvs(self):
+        c = CholeskyConfig(n=512, b=64, pr=2, pc=2)
+        progs = build_task_programs(c)
+        from repro.core.program import CommKind
+
+        sends = sum(
+            1 for p in progs for s in p.iterations[0].tasks
+            if s.comm is not None and s.comm.kind == CommKind.ISEND
+        )
+        recvs = sum(
+            1 for p in progs for s in p.iterations[0].tasks
+            if s.comm is not None and s.comm.kind == CommKind.IRECV
+        )
+        assert sends == recvs > 0
+
+    def test_cluster_run_quiescent(self):
+        c = CholeskyConfig(n=512, b=128, pr=2, pc=2, iterations=2)
+        progs = build_task_programs(c)
+        cluster = Cluster(4)
+        res = cluster.run(progs, [cfg(n_threads=2) for _ in range(4)])
+        total = sum(r.n_tasks for r in res.results)
+        # comm tasks count as executed tasks too.
+        assert total >= 2 * c.n_tasks_one_factorization()
+
+    def test_ptsg_discovery_speedup(self):
+        """§4.4: 5x asymptotic discovery speedup over iterations."""
+        c = CholeskyConfig(n=768, b=64, iterations=8)
+        prog = build_task_programs(c)[0]
+        r_p = TaskRuntime(prog, cfg(opts=OptimizationSet.parse("p"))).run()
+        r_np = TaskRuntime(prog, cfg()).run()
+        assert r_np.discovery_busy / r_p.discovery_busy > 3.0
+
+
+class TestNumericCholesky:
+    def test_reference_factorization(self):
+        a0 = random_spd(64, seed=1)
+        nc = NumericCholesky(a0, 16)
+        nc.run_reference()
+        assert nc.check(a0)
+
+    def test_matches_numpy(self):
+        a0 = random_spd(64, seed=2)
+        nc = NumericCholesky(a0, 16)
+        nc.run_reference()
+        assert np.allclose(nc.lower(), np.linalg.cholesky(a0), rtol=1e-8, atol=1e-8)
+
+    @pytest.mark.parametrize("opts,sched", [
+        ("", "lifo-df"),
+        ("abc", "fifo-bf"),
+        ("abcp", "lifo-df"),
+    ])
+    def test_task_execution_correct(self, opts, sched):
+        a0 = random_spd(96, seed=3)
+        nc = NumericCholesky(a0, 24)
+        prog = nc.build_program()
+        TaskRuntime(
+            prog,
+            cfg(opts=OptimizationSet.parse(opts), scheduler=sched, execute_bodies=True),
+        ).run()
+        assert nc.check(a0)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            NumericCholesky(np.zeros((4, 5)), 2)
+
+    def test_bad_tile_rejected(self):
+        with pytest.raises(ValueError):
+            NumericCholesky(np.eye(10), 3)

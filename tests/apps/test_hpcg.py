@@ -1,0 +1,145 @@
+"""HPCG app tests: structure + numeric CG validation."""
+
+import numpy as np
+import pytest
+
+from repro.apps.hpcg import (
+    HpcgConfig,
+    NumericCG,
+    build_for_program,
+    build_task_program,
+    laplacian_27pt,
+    tasks_per_iteration,
+)
+from repro.cluster.mapping import RankGrid
+from repro.core import OptimizationSet
+from repro.core.program import CommKind
+from repro.core.task import DepMode
+from repro.memory import tiny_test_machine
+from repro.runtime import RuntimeConfig, TaskRuntime
+
+
+class TestConfig:
+    def test_block_bytes(self):
+        c = HpcgConfig(n_rows=1024, tpl=8)
+        assert c.vector_block_bytes == 1024
+
+    def test_tpl_bounded(self):
+        with pytest.raises(ValueError):
+            HpcgConfig(n_rows=8, tpl=16)
+
+    def test_flop_counts_positive(self):
+        c = HpcgConfig(n_rows=4096, tpl=16, spmv_sub=4)
+        assert c.spmv_flops_per_task > 0
+        assert c.vector_flops_per_task > 0
+
+
+class TestTaskProgram:
+    def test_task_count(self):
+        c = HpcgConfig(n_rows=4096, iterations=3, tpl=16, spmv_sub=4)
+        prog = build_task_program(c)
+        assert prog.n_tasks == 3 * tasks_per_iteration(c)
+
+    def test_two_allreduce_per_iteration(self):
+        c = HpcgConfig(n_rows=1024, iterations=1, tpl=8)
+        prog = build_task_program(c)
+        colls = [
+            s for s in prog.iterations[0].tasks
+            if s.comm is not None and s.comm.kind == CommKind.IALLREDUCE
+        ]
+        assert len(colls) == 2
+
+    def test_edges_per_task_grows_with_tpl(self):
+        """Fig. 9 bottom-left: average edges/task grows ~linearly in TPL."""
+        def avg_addrs(tpl):
+            c = HpcgConfig(n_rows=8192, iterations=1, tpl=tpl, spmv_sub=4)
+            prog = build_task_program(c)
+            specs = prog.iterations[0].tasks
+            return sum(len(s.depends) for s in specs) / len(specs)
+
+        a16, a64 = avg_addrs(16), avg_addrs(64)
+        assert a64 > 2.0 * a16
+
+    def test_spmv_reads_p_slice(self):
+        c = HpcgConfig(n_rows=1024, iterations=1, tpl=16, spmv_sub=4)
+        prog = build_task_program(c)
+        spmv = [s for s in prog.iterations[0].tasks if s.name.startswith("SpMV")]
+        assert len(spmv) == 16 * 4
+        # Each sub-task reads tpl/spmv_sub p blocks plus inoutset on Ap.
+        n_in = sum(1 for _, m in spmv[0].depends if m == DepMode.IN)
+        assert n_in == 4
+
+    def test_runs_to_completion(self):
+        c = HpcgConfig(n_rows=1024, iterations=2, tpl=8, spmv_sub=2)
+        r = TaskRuntime(
+            build_task_program(c),
+            RuntimeConfig(machine=tiny_test_machine(4), opts=OptimizationSet.abc()),
+        ).run()
+        assert r.n_tasks == 2 * tasks_per_iteration(c)
+
+    def test_distributed_runs(self):
+        from repro.analysis.distributed import run_hpcg_cluster
+
+        c = HpcgConfig(n_rows=512, iterations=2, tpl=4, spmv_sub=2)
+        res = run_hpcg_cluster(RankGrid(2, 1, 1), c, n_threads=2)
+        assert res.n_ranks == 2
+        assert all(r.n_tasks > 0 for r in res.results)
+
+
+class TestForProgram:
+    def test_phase_structure(self):
+        c = HpcgConfig(n_rows=1024, iterations=2, tpl=8)
+        prog = build_for_program(c)
+        assert prog.n_iterations == 2
+
+
+class TestLaplacian:
+    def test_shape_and_symmetry(self):
+        a = laplacian_27pt(4, 4, 4)
+        assert a.shape == (64, 64)
+        assert abs(a - a.T).nnz == 0
+
+    def test_27_point_interior_row(self):
+        a = laplacian_27pt(5, 5, 5)
+        center = 2 + 5 * (2 + 5 * 2)
+        assert a[center].nnz == 27
+
+    def test_positive_definite(self):
+        a = laplacian_27pt(4, 4, 4).toarray()
+        assert np.all(np.linalg.eigvalsh(a) > 0)
+
+
+class TestNumericCG:
+    def setup_method(self):
+        self.a = laplacian_27pt(5, 5, 5)
+        rng = np.random.default_rng(7)
+        self.b = rng.normal(size=self.a.shape[0])
+
+    def test_reference_converges(self):
+        cg = NumericCG(self.a, self.b, n_blocks=5)
+        cg.run_reference(30)
+        assert cg.residual_norm() < 1e-6 * np.linalg.norm(self.b)
+
+    @pytest.mark.parametrize("opts,sched", [
+        ("", "lifo-df"),
+        ("abc", "lifo-df"),
+        ("abcp", "lifo-df"),
+        ("b", "fifo-bf"),
+    ])
+    def test_task_execution_bitwise(self, opts, sched):
+        ref = NumericCG(self.a, self.b, n_blocks=5)
+        x_ref = ref.run_reference(10).copy()
+        cg = NumericCG(self.a, self.b, n_blocks=5)
+        prog = cg.build_program(10)
+        cfg = RuntimeConfig(
+            machine=tiny_test_machine(4),
+            opts=OptimizationSet.parse(opts),
+            scheduler=sched,
+            execute_bodies=True,
+        )
+        TaskRuntime(prog, cfg).run()
+        assert np.array_equal(cg.st.x, x_ref)
+
+    def test_bad_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            NumericCG(self.a, self.b, n_blocks=0)

@@ -1,0 +1,169 @@
+"""Structural tests of the LULESH task/for program builders."""
+
+import pytest
+
+from repro.apps.lulesh import (
+    COMM_AFTER_LOOP,
+    LOOP_SCHEDULE,
+    LuleshConfig,
+    build_for_program,
+    build_task_program,
+    tasks_per_iteration,
+)
+from repro.cluster.mapping import RankGrid
+from repro.core.program import CommKind
+from repro.core.task import DepMode
+from repro.runtime.parallel_for import HaloExchangeSpec, LoopSpec
+
+
+class TestConfig:
+    def test_counts(self):
+        c = LuleshConfig(s=10, iterations=2, tpl=5)
+        assert c.n_elems == 1000
+        assert c.n_nodes == 11**3
+
+    def test_tpl_bounded_by_elems(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            LuleshConfig(s=4, tpl=100)
+
+    def test_message_size_ordering(self):
+        c = LuleshConfig(s=32, tpl=8)
+        assert c.message_bytes("corner") < c.message_bytes("edge") < c.message_bytes("face")
+
+    def test_face_is_rendezvous_scale(self):
+        """At the paper's problem size faces are O(s^2) — above the eager
+        threshold of the default network; corners/edges below (§4.1)."""
+        from repro.mpi.network import bxi_like
+
+        net = bxi_like()
+        c = LuleshConfig(s=96, tpl=8)
+        assert not net.is_eager(c.message_bytes("face"))
+        assert net.is_eager(c.message_bytes("edge"))
+        assert net.is_eager(c.message_bytes("corner"))
+
+    def test_workset_bytes(self):
+        c = LuleshConfig(s=16, tpl=4)
+        assert c.workset_bytes == c.node_bytes + c.elem_bytes
+
+    def test_unknown_group_rejected(self):
+        c = LuleshConfig(s=8, tpl=4)
+        with pytest.raises(KeyError):
+            c.group_block_bytes("nodes", "bogus")
+        with pytest.raises(ValueError):
+            c.group_block_bytes("things", "pos")
+
+
+class TestSchedule:
+    def test_33_loops(self):
+        assert len(LOOP_SCHEDULE) == 33
+
+    def test_comm_loop_index_valid(self):
+        assert 0 <= COMM_AFTER_LOOP < len(LOOP_SCHEDULE)
+
+    def test_ioset_loops_write_forces(self):
+        for loop in LOOP_SCHEDULE:
+            if loop.ioset:
+                assert ("nodes", "force") in loop.writes
+
+    def test_dt_partial_loops_exist(self):
+        assert sum(1 for l in LOOP_SCHEDULE if l.dt_partial) == 2
+
+
+class TestTaskProgram:
+    def test_task_count(self):
+        cfg = LuleshConfig(s=12, iterations=3, tpl=8)
+        prog = build_task_program(cfg)
+        assert prog.n_tasks == 3 * tasks_per_iteration(cfg)
+
+    def test_task_count_with_neighbors(self):
+        cfg = LuleshConfig(s=12, iterations=1, tpl=8)
+        grid = RankGrid.cubic(8)
+        nbs = grid.neighbors(0)
+        prog = build_task_program(cfg, neighbors=nbs)
+        assert prog.n_tasks == tasks_per_iteration(cfg, len(nbs))
+
+    def test_persistent_candidate(self):
+        cfg = LuleshConfig(s=8, iterations=2, tpl=4)
+        assert build_task_program(cfg).persistent_candidate
+
+    def test_iterations_share_specs(self):
+        cfg = LuleshConfig(s=8, iterations=4, tpl=4)
+        prog = build_task_program(cfg)
+        assert prog.iterations[0].tasks is prog.iterations[2].tasks
+
+    def test_opt_a_reduces_addresses(self):
+        cfg = LuleshConfig(s=12, iterations=1, tpl=8)
+        n_plain = sum(len(s.depends) for s in build_task_program(cfg, opt_a=False).iterations[0].tasks)
+        n_opt = sum(len(s.depends) for s in build_task_program(cfg, opt_a=True).iterations[0].tasks)
+        assert n_opt < n_plain
+
+    def test_inoutset_used_by_force_loops(self):
+        cfg = LuleshConfig(s=12, iterations=1, tpl=8)
+        prog = build_task_program(cfg, opt_a=True)
+        modes = {
+            m
+            for spec in prog.iterations[0].tasks
+            if spec.name.startswith("IntegrateStressForElems")
+            for _, m in spec.depends
+        }
+        assert DepMode.INOUTSET in modes
+
+    def test_dt_task_has_allreduce(self):
+        cfg = LuleshConfig(s=8, iterations=1, tpl=4)
+        prog = build_task_program(cfg)
+        dt = prog.iterations[0].tasks[0]
+        assert dt.comm is not None
+        assert dt.comm.kind == CommKind.IALLREDUCE
+
+    def test_dt_task_depends_on_all_partials(self):
+        cfg = LuleshConfig(s=8, iterations=1, tpl=4)
+        prog = build_task_program(cfg)
+        dt = prog.iterations[0].tasks[0]
+        n_in = sum(1 for _, m in dt.depends if m == DepMode.IN)
+        assert n_in == 2 * cfg.tpl  # two constraint loops
+
+    def test_comm_tasks_per_neighbor(self):
+        cfg = LuleshConfig(s=8, iterations=1, tpl=4)
+        grid = RankGrid.cubic(27)
+        nbs = grid.neighbors(grid.interior_rank())
+        prog = build_task_program(cfg, neighbors=nbs)
+        names = [s.name for s in prog.iterations[0].tasks]
+        assert sum(1 for n in names if n.startswith("MPI_Irecv")) == 26
+        assert sum(1 for n in names if n.startswith("MPI_Isend")) == 26
+        assert sum(1 for n in names if n.startswith("Pack")) == 26
+        assert sum(1 for n in names if n.startswith("Unpack")) == 26
+
+    def test_footprints_shrink_with_tpl(self):
+        c_coarse = LuleshConfig(s=12, iterations=1, tpl=4)
+        c_fine = LuleshConfig(s=12, iterations=1, tpl=32)
+        def max_chunk(cfg):
+            prog = build_task_program(cfg)
+            return max(
+                (b for s in prog.iterations[0].tasks for _, b in s.footprint),
+                default=0,
+            )
+        assert max_chunk(c_fine) < max_chunk(c_coarse)
+
+
+class TestForProgram:
+    def test_phases(self):
+        cfg = LuleshConfig(s=8, iterations=2, tpl=4)
+        prog = build_for_program(cfg)
+        assert prog.n_iterations == 2
+        loops = [p for p in prog.iterations[0].phases if isinstance(p, LoopSpec)]
+        assert len(loops) == 33
+
+    def test_halo_inserted_with_neighbors(self):
+        cfg = LuleshConfig(s=8, iterations=1, tpl=4)
+        grid = RankGrid.cubic(8)
+        prog = build_for_program(cfg, neighbors=grid.neighbors(0))
+        halos = [p for p in prog.iterations[0].phases if isinstance(p, HaloExchangeSpec)]
+        assert len(halos) == 1
+        assert len(halos[0].ops) == 2 * 7  # send+recv per neighbor
+
+    def test_no_halo_without_neighbors(self):
+        cfg = LuleshConfig(s=8, iterations=1, tpl=4)
+        prog = build_for_program(cfg)
+        assert not any(
+            isinstance(p, HaloExchangeSpec) for p in prog.iterations[0].phases
+        )

@@ -1,0 +1,89 @@
+"""Cross-variant consistency: the task and parallel-for builders must
+describe the *same* computation (same flops, same data, same messages)."""
+
+import pytest
+
+from repro.apps.hpcg import HpcgConfig
+from repro.apps.hpcg import build_for_program as hpcg_for
+from repro.apps.hpcg import build_task_program as hpcg_task
+from repro.apps.lulesh import LuleshConfig
+from repro.apps.lulesh import build_for_program as lulesh_for
+from repro.apps.lulesh import build_task_program as lulesh_task
+from repro.cluster import RankGrid
+from repro.core.program import CommKind
+from repro.runtime.parallel_for import HaloExchangeSpec, LoopSpec
+
+
+def task_flops(prog):
+    return sum(s.flops for s in prog.iterations[0].tasks if s.comm is None)
+
+
+def for_flops(prog):
+    return sum(
+        p.flops for p in prog.iterations[0].phases if isinstance(p, LoopSpec)
+    )
+
+
+class TestLuleshConsistency:
+    CFG = LuleshConfig(s=16, iterations=2, tpl=8, flops_per_item=25.0)
+
+    def test_loop_flops_match(self):
+        """Compute tasks carry exactly the loops' flops (pack/unpack and the
+        dt reduction add a small, bounded extra)."""
+        t = task_flops(lulesh_task(self.CFG, opt_a=True))
+        f = for_flops(lulesh_for(self.CFG))
+        assert t == pytest.approx(f, rel=0.01)
+
+    def test_flops_independent_of_tpl(self):
+        f1 = task_flops(lulesh_task(LuleshConfig(s=16, iterations=1, tpl=4), opt_a=True))
+        f2 = task_flops(lulesh_task(LuleshConfig(s=16, iterations=1, tpl=64), opt_a=True))
+        assert f1 == pytest.approx(f2, rel=1e-9)
+
+    def test_flops_independent_of_opt_a(self):
+        f1 = task_flops(lulesh_task(self.CFG, opt_a=False))
+        f2 = task_flops(lulesh_task(self.CFG, opt_a=True))
+        assert f1 == pytest.approx(f2, rel=1e-9)
+
+    def test_message_bytes_match(self):
+        grid = RankGrid.cubic(8)
+        nbs = grid.neighbors(0)
+        t_prog = lulesh_task(self.CFG, neighbors=nbs)
+        f_prog = lulesh_for(self.CFG, neighbors=nbs)
+        t_bytes = sorted(
+            s.comm.nbytes for s in t_prog.iterations[0].tasks
+            if s.comm is not None and s.comm.kind == CommKind.ISEND
+        )
+        f_bytes = sorted(
+            op.nbytes
+            for p in f_prog.iterations[0].phases
+            if isinstance(p, HaloExchangeSpec)
+            for op in p.ops
+            if op.kind == CommKind.ISEND
+        )
+        assert t_bytes == f_bytes
+
+    def test_collectives_match(self):
+        t_prog = lulesh_task(self.CFG)
+        n_coll = sum(
+            1 for s in t_prog.iterations[0].tasks
+            if s.comm is not None and s.comm.kind == CommKind.IALLREDUCE
+        )
+        assert n_coll == 1  # one dt reduction per iteration in both variants
+
+
+class TestHpcgConsistency:
+    CFG = HpcgConfig(n_rows=4096, iterations=2, tpl=8, spmv_sub=2)
+
+    def test_loop_flops_match(self):
+        t = task_flops(hpcg_task(self.CFG))
+        f = for_flops(hpcg_for(self.CFG))
+        # The task variant adds tiny reduce-task flops on top of the loops.
+        assert t == pytest.approx(f, rel=0.02)
+
+    def test_collectives_match(self):
+        t_prog = hpcg_task(self.CFG)
+        n = sum(
+            1 for s in t_prog.iterations[0].tasks
+            if s.comm is not None and s.comm.kind == CommKind.IALLREDUCE
+        )
+        assert n == 2  # alpha and beta dots, both variants

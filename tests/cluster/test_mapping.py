@@ -1,0 +1,72 @@
+"""Unit tests for rank grids and neighbor topology."""
+
+import pytest
+
+from repro.cluster.mapping import Neighbor, RankGrid
+
+
+class TestGrid:
+    def test_cubic(self):
+        g = RankGrid.cubic(27)
+        assert (g.px, g.py, g.pz) == (3, 3, 3)
+        assert g.n_ranks == 27
+
+    def test_cubic_rejects_non_cube(self):
+        with pytest.raises(ValueError, match="perfect cube"):
+            RankGrid.cubic(10)
+
+    def test_coords_roundtrip(self):
+        g = RankGrid(4, 3, 2)
+        for r in range(g.n_ranks):
+            assert g.rank_of(*g.coords(r)) == r
+
+    def test_coords_bounds(self):
+        g = RankGrid(2, 2, 2)
+        with pytest.raises(ValueError):
+            g.coords(8)
+        with pytest.raises(ValueError):
+            g.rank_of(2, 0, 0)
+
+    def test_bad_dims(self):
+        with pytest.raises(ValueError):
+            RankGrid(0, 1, 1)
+
+
+class TestNeighbors:
+    def test_interior_has_26(self):
+        g = RankGrid.cubic(27)
+        center = g.rank_of(1, 1, 1)
+        assert len(g.neighbors(center)) == 26
+
+    def test_corner_has_7(self):
+        g = RankGrid.cubic(27)
+        assert len(g.neighbors(g.rank_of(0, 0, 0))) == 7
+
+    def test_kind_classification(self):
+        g = RankGrid.cubic(27)
+        kinds = [n.kind for n in g.neighbors(g.rank_of(1, 1, 1))]
+        assert kinds.count("face") == 6
+        assert kinds.count("edge") == 12
+        assert kinds.count("corner") == 8
+
+    def test_symmetry(self):
+        """If q is p's neighbor, p is q's neighbor with opposite offset."""
+        g = RankGrid(3, 2, 2)
+        for r in range(g.n_ranks):
+            for nb in g.neighbors(r):
+                back = [m for m in g.neighbors(nb.rank) if m.rank == r]
+                assert len(back) == 1
+                assert back[0].offset == tuple(-d for d in nb.offset)
+
+    def test_interior_rank_selection(self):
+        g = RankGrid.cubic(27)
+        assert len(g.neighbors(g.interior_rank())) == 26
+
+    def test_single_rank_grid(self):
+        g = RankGrid(1, 1, 1)
+        assert g.neighbors(0) == []
+
+    def test_neighbor_kind_values(self):
+        assert Neighbor(0, (1, 0, 0)).kind == "face"
+        assert Neighbor(0, (1, 1, 0)).kind == "edge"
+        assert Neighbor(0, (1, 1, -1)).kind == "corner"

@@ -1,0 +1,253 @@
+"""Semantic tests of the dependence resolver — the heart of TDG discovery."""
+
+import pytest
+
+from repro.core.dependences import DependenceResolver
+from repro.core.graph import TaskGraph
+from repro.core.optimizations import OptimizationSet
+from repro.core.task import DepMode, Task, TaskState
+
+
+def make(opts="", persistent=False):
+    graph = TaskGraph(persistent=persistent)
+    return graph, DependenceResolver(graph, OptimizationSet.parse(opts))
+
+
+def submit(graph, resolver, deps, name=""):
+    t = graph.new_task(name=name)
+    res = resolver.resolve(t, tuple(deps))
+    return t, res
+
+
+def edges(graph):
+    return [(p.tid, s.tid) for p, s in graph.iter_edges()]
+
+
+X, Y, Z = 0, 1, 2
+
+
+class TestBasicChains:
+    def test_raw_edge(self):
+        g, r = make()
+        w, _ = submit(g, r, [(X, DepMode.OUT)])
+        rd, res = submit(g, r, [(X, DepMode.IN)])
+        assert edges(g) == [(w.tid, rd.tid)]
+        assert rd.npred == 1
+        assert res.n_edges == 1
+
+    def test_war_edge(self):
+        g, r = make()
+        rd, _ = submit(g, r, [(X, DepMode.IN)])
+        w, _ = submit(g, r, [(X, DepMode.OUT)])
+        assert edges(g) == [(rd.tid, w.tid)]
+
+    def test_waw_edge(self):
+        g, r = make()
+        w1, _ = submit(g, r, [(X, DepMode.OUT)])
+        w2, _ = submit(g, r, [(X, DepMode.OUT)])
+        assert edges(g) == [(w1.tid, w2.tid)]
+
+    def test_inout_behaves_as_out(self):
+        g, r = make()
+        w1, _ = submit(g, r, [(X, DepMode.INOUT)])
+        w2, _ = submit(g, r, [(X, DepMode.INOUT)])
+        assert edges(g) == [(w1.tid, w2.tid)]
+
+    def test_concurrent_readers_no_edges(self):
+        g, r = make()
+        w, _ = submit(g, r, [(X, DepMode.OUT)])
+        r1, _ = submit(g, r, [(X, DepMode.IN)])
+        r2, _ = submit(g, r, [(X, DepMode.IN)])
+        assert (r1.tid, r2.tid) not in edges(g)
+        assert (r2.tid, r1.tid) not in edges(g)
+        assert r1.npred == 1 and r2.npred == 1
+
+    def test_writer_after_readers_waits_for_all(self):
+        g, r = make()
+        w, _ = submit(g, r, [(X, DepMode.OUT)])
+        readers = [submit(g, r, [(X, DepMode.IN)])[0] for _ in range(4)]
+        w2, _ = submit(g, r, [(X, DepMode.OUT)])
+        for rd in readers:
+            assert (rd.tid, w2.tid) in edges(g)
+        # Writer edge is transitively covered by the readers.
+        assert (w.tid, w2.tid) not in edges(g)
+
+    def test_independent_addresses_no_edges(self):
+        g, r = make()
+        a, _ = submit(g, r, [(X, DepMode.OUT)])
+        b, _ = submit(g, r, [(Y, DepMode.OUT)])
+        assert edges(g) == []
+
+    def test_first_reader_of_untouched_address(self):
+        g, r = make()
+        rd, res = submit(g, r, [(X, DepMode.IN)])
+        assert res.n_edges == 0
+        assert rd.npred == 0
+
+
+class TestFig3MultipleEdges:
+    """The Fig. 3 pattern: two addresses resolving to the same predecessor."""
+
+    def test_duplicate_edges_without_b(self):
+        g, r = make("")
+        w, _ = submit(g, r, [(X, DepMode.OUT), (Y, DepMode.OUT)])
+        rd, res = submit(g, r, [(X, DepMode.IN), (Y, DepMode.IN)])
+        assert res.n_edges == 2  # duplicate materialized
+        assert rd.npred == 2
+        assert g.stats.duplicates_created == 1
+
+    def test_duplicate_edges_removed_with_b(self):
+        g, r = make("b")
+        w, _ = submit(g, r, [(X, DepMode.OUT), (Y, DepMode.OUT)])
+        rd, res = submit(g, r, [(X, DepMode.IN), (Y, DepMode.IN)])
+        assert res.n_edges == 1
+        assert res.n_skipped == 1
+        assert rd.npred == 1
+        assert g.stats.duplicates_skipped == 1
+
+    def test_duplicate_detection_is_adjacent_only(self):
+        # A -> C via X, B -> C via Y, A -> C via Z: the second A edge is
+        # NOT adjacent in A's creation order... but sequential submission
+        # means it IS adjacent from A's point of view (last_successor).
+        g, r = make("b")
+        a, _ = submit(g, r, [(X, DepMode.OUT), (Z, DepMode.OUT)])
+        b, _ = submit(g, r, [(Y, DepMode.OUT)])
+        c, res = submit(
+            g, r, [(X, DepMode.IN), (Y, DepMode.IN), (Z, DepMode.IN)]
+        )
+        # a->c, b->c, then a->c again: a.last_successor is c, so deduped.
+        assert res.n_edges == 2
+        assert c.npred == 2
+
+    def test_npred_consistent_with_duplicates(self):
+        """Without (b), duplicates must still be released consistently."""
+        g, r = make("")
+        w, _ = submit(g, r, [(X, DepMode.OUT), (Y, DepMode.OUT)])
+        rd, _ = submit(g, r, [(X, DepMode.IN), (Y, DepMode.IN)])
+        # Both edges exist; releasing each of w's successor entries once
+        # brings npred to exactly 0.
+        for s in w.successors:
+            s.npred -= 1
+        assert rd.npred == 0
+
+
+class TestInoutset:
+    """Fig. 4: m concurrent writers, n readers."""
+
+    def _build(self, opts, m, n):
+        g, r = make(opts)
+        writers = [submit(g, r, [(X, DepMode.INOUTSET)])[0] for _ in range(m)]
+        readers = [submit(g, r, [(X, DepMode.IN)])[0] for _ in range(n)]
+        return g, writers, readers
+
+    def test_group_members_are_concurrent(self):
+        g, writers, _ = self._build("", 5, 0)
+        for w in writers:
+            assert w.npred == 0
+            assert w.successors == []
+
+    def test_mn_edges_without_c(self):
+        m, n = 5, 7
+        g, writers, readers = self._build("", m, n)
+        assert g.stats.created == m * n
+        for rd in readers:
+            assert rd.npred == m
+
+    def test_m_plus_n_edges_with_c(self):
+        m, n = 5, 7
+        g, writers, readers = self._build("c", m, n)
+        # m edges into the redirect node + n edges out of it.
+        assert g.stats.created == m + n
+        assert g.stats.redirect_nodes == 1
+        for rd in readers:
+            assert rd.npred == 1
+
+    def test_no_redirect_for_singleton_group(self):
+        g, writers, readers = self._build("c", 1, 3)
+        assert g.stats.redirect_nodes == 0
+        assert g.stats.created == 3
+
+    def test_writer_after_group_without_c(self):
+        g, r = make("")
+        writers = [submit(g, r, [(X, DepMode.INOUTSET)])[0] for _ in range(3)]
+        w, _ = submit(g, r, [(X, DepMode.OUT)])
+        assert w.npred == 3
+
+    def test_writer_after_group_with_c(self):
+        g, r = make("c")
+        writers = [submit(g, r, [(X, DepMode.INOUTSET)])[0] for _ in range(3)]
+        w, _ = submit(g, r, [(X, DepMode.OUT)])
+        assert w.npred == 1  # via redirect
+        assert g.stats.redirect_nodes == 1
+
+    def test_group_waits_for_prior_writer(self):
+        g, r = make("")
+        w, _ = submit(g, r, [(X, DepMode.OUT)])
+        x1, _ = submit(g, r, [(X, DepMode.INOUTSET)])
+        x2, _ = submit(g, r, [(X, DepMode.INOUTSET)])
+        assert x1.npred == 1 and x2.npred == 1
+        assert (w.tid, x1.tid) in edges(g)
+        assert (w.tid, x2.tid) in edges(g)
+
+    def test_group_waits_for_prior_readers(self):
+        g, r = make("")
+        w, _ = submit(g, r, [(X, DepMode.OUT)])
+        r1, _ = submit(g, r, [(X, DepMode.IN)])
+        x1, _ = submit(g, r, [(X, DepMode.INOUTSET)])
+        assert (r1.tid, x1.tid) in edges(g)
+
+    def test_two_groups_separated_by_reader(self):
+        g, r = make("")
+        a = [submit(g, r, [(X, DepMode.INOUTSET)])[0] for _ in range(2)]
+        rd, _ = submit(g, r, [(X, DepMode.IN)])
+        b = [submit(g, r, [(X, DepMode.INOUTSET)])[0] for _ in range(2)]
+        # Second group must wait for the reader (not join the first group).
+        for w in b:
+            assert (rd.tid, w.tid) in edges(g)
+
+    def test_reset_clears_group_state(self):
+        g, r = make("")
+        submit(g, r, [(X, DepMode.INOUTSET)])
+        r.reset()
+        rd, res = submit(g, r, [(X, DepMode.IN)])
+        assert res.n_edges == 0
+
+
+class TestPruning:
+    def test_completed_predecessor_pruned(self):
+        g, r = make()
+        w, _ = submit(g, r, [(X, DepMode.OUT)])
+        w.state = TaskState.COMPLETED
+        rd, res = submit(g, r, [(X, DepMode.IN)])
+        assert res.n_edges == 0
+        assert res.n_skipped == 1
+        assert g.stats.pruned == 1
+        assert rd.npred == 0
+
+    def test_persistent_graph_does_not_prune(self):
+        g, r = make(persistent=True)
+        w, _ = submit(g, r, [(X, DepMode.OUT)])
+        w.state = TaskState.COMPLETED
+        rd, res = submit(g, r, [(X, DepMode.IN)])
+        assert res.n_edges == 1
+        assert g.stats.pruned == 0
+        # Edge exists but is pre-satisfied for the current iteration.
+        assert rd.npred == 0
+        assert rd.presat == 1
+        assert w.successors == [rd]
+
+
+class TestResolutionResult:
+    def test_addr_count(self):
+        g, r = make()
+        _, res = submit(g, r, [(X, DepMode.IN), (Y, DepMode.OUT), (Z, DepMode.IN)])
+        assert res.n_addrs == 3
+
+    def test_redirect_task_returned(self):
+        g, r = make("c")
+        for _ in range(2):
+            submit(g, r, [(X, DepMode.INOUTSET)])
+        _, res = submit(g, r, [(X, DepMode.IN)])
+        assert res.n_redirects == 1
+        assert len(res.redirect_tasks) == 1
+        assert res.redirect_tasks[0].is_stub

@@ -1,0 +1,59 @@
+"""Unit tests for OptimizationSet."""
+
+import pytest
+
+from repro.core.optimizations import OptimizationSet
+
+
+class TestFactories:
+    def test_none(self):
+        o = OptimizationSet.none()
+        assert not (o.a or o.b or o.c or o.p)
+
+    def test_all(self):
+        o = OptimizationSet.all()
+        assert o.a and o.b and o.c and o.p
+
+    def test_abc(self):
+        o = OptimizationSet.abc()
+        assert o.a and o.b and o.c and not o.p
+
+
+class TestParse:
+    @pytest.mark.parametrize("spec,expected", [
+        ("", (False, False, False, False)),
+        ("none", (False, False, False, False)),
+        ("a", (True, False, False, False)),
+        ("bc", (False, True, True, False)),
+        ("abcp", (True, True, True, True)),
+        ("all", (True, True, True, True)),
+        ("ABC", (True, True, True, False)),
+        ("p", (False, False, False, True)),
+    ])
+    def test_parse(self, spec, expected):
+        o = OptimizationSet.parse(spec)
+        assert (o.a, o.b, o.c, o.p) == expected
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown optimization"):
+            OptimizationSet.parse("xyz")
+
+
+class TestLabel:
+    def test_label_none(self):
+        assert OptimizationSet.none().label == "none"
+
+    def test_label_combo(self):
+        assert OptimizationSet.parse("bp").label == "(b)+(p)"
+
+    def test_str(self):
+        assert str(OptimizationSet.parse("abc")) == "(a)+(b)+(c)"
+
+    def test_frozen(self):
+        o = OptimizationSet.none()
+        with pytest.raises(AttributeError):
+            o.a = True
+
+    def test_hashable(self):
+        assert OptimizationSet.parse("ab") == OptimizationSet(a=True, b=True)
+        assert len({OptimizationSet.parse("a"), OptimizationSet.parse("a")}) == 1

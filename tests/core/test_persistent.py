@@ -1,0 +1,75 @@
+"""Unit tests for PersistentRegion (the PTSG data structure)."""
+
+import pytest
+
+from repro.core.graph import TaskGraph
+from repro.core.persistent import PersistentRegion, PersistentStructureError
+from repro.core.program import IterationSpec, TaskSpec
+from repro.core.task import DepMode, TaskState
+
+
+def make_region(n=3):
+    g = TaskGraph(persistent=True)
+    specs = [TaskSpec(name=f"t{i}", depends=((0, DepMode.INOUT),)) for i in range(n)]
+    tasks = [g.new_task(name=s.name) for s in specs]
+    for a, b in zip(tasks, tasks[1:]):
+        g.add_edge(a, b, dedup=False)
+    for t in tasks:
+        t.npred_initial = t.npred
+    return PersistentRegion(graph=g, template=specs, user_tasks=tasks), g, specs, tasks
+
+
+class TestValidation:
+    def test_identical_iteration_ok(self):
+        region, g, specs, _ = make_region()
+        region.validate_iteration(IterationSpec(index=1, tasks=list(specs)))
+
+    def test_task_count_mismatch(self):
+        region, g, specs, _ = make_region()
+        with pytest.raises(PersistentStructureError, match="submits"):
+            region.validate_iteration(IterationSpec(index=1, tasks=specs[:-1]))
+
+    def test_dependence_mismatch(self):
+        region, g, specs, _ = make_region()
+        bad = list(specs)
+        bad[1] = TaskSpec(name="t1", depends=((99, DepMode.IN),))
+        with pytest.raises(PersistentStructureError, match="diverged"):
+            region.validate_iteration(IterationSpec(index=1, tasks=bad))
+
+    def test_name_mismatch(self):
+        region, g, specs, _ = make_region()
+        bad = list(specs)
+        bad[0] = TaskSpec(name="other", depends=specs[0].depends)
+        with pytest.raises(PersistentStructureError):
+            region.validate_iteration(IterationSpec(index=1, tasks=bad))
+
+    def test_body_change_allowed(self):
+        # firstprivate payloads (bodies) may change between iterations.
+        region, g, specs, _ = make_region()
+        changed = [
+            TaskSpec(name=s.name, depends=s.depends, body=(lambda: None))
+            for s in specs
+        ]
+        region.validate_iteration(IterationSpec(index=1, tasks=changed))
+
+    def test_template_task_length_mismatch_rejected(self):
+        g = TaskGraph(persistent=True)
+        with pytest.raises(ValueError, match="mismatch"):
+            PersistentRegion(graph=g, template=[TaskSpec(name="t")], user_tasks=[])
+
+
+class TestRearm:
+    def test_rearm_resets_all_tasks(self):
+        region, g, specs, tasks = make_region()
+        for t in tasks:
+            t.state = TaskState.COMPLETED
+            t.npred = 0
+        region.rearm()
+        for t in tasks:
+            assert t.state == TaskState.CREATED
+            assert t.npred == t.npred_initial
+
+    def test_counters(self):
+        region, g, specs, tasks = make_region(4)
+        assert region.n_tasks == 4
+        assert region.n_edges == 3

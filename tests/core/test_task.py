@@ -1,0 +1,87 @@
+"""Unit tests for the task model."""
+
+import math
+
+import pytest
+
+from repro.core.task import DepMode, Task, TaskState
+
+
+class TestTaskBasics:
+    def test_initial_state(self):
+        t = Task(0, "t")
+        assert t.state == TaskState.CREATED
+        assert t.npred == 0
+        assert t.successors == []
+        assert not t.armed
+        assert not t.completed
+
+    def test_identity_fields(self):
+        t = Task(7, "kernel", loop_id=3, iteration=2, flops=10.0, fp_bytes=64)
+        assert t.tid == 7
+        assert t.name == "kernel"
+        assert t.loop_id == 3
+        assert t.iteration == 2
+        assert t.flops == 10.0
+        assert t.fp_bytes == 64
+
+    def test_footprint_is_tuple(self):
+        t = Task(0, footprint=[(1, 100), (2, 200)])
+        assert t.footprint == ((1, 100), (2, 200))
+
+    def test_timestamps_start_nan(self):
+        t = Task(0)
+        assert math.isnan(t.created_at)
+        assert math.isnan(t.started_at)
+        assert math.isnan(t.completed_at)
+
+    def test_completed_property(self):
+        t = Task(0)
+        t.state = TaskState.COMPLETED
+        assert t.completed
+
+    def test_repr_contains_key_fields(self):
+        t = Task(3, "foo")
+        assert "foo" in repr(t)
+        assert "3" in repr(t)
+
+
+class TestReplayReset:
+    def test_reset_restores_npred(self):
+        t = Task(0)
+        t.npred_initial = 5
+        t.npred = 0
+        t.state = TaskState.COMPLETED
+        t.armed = True
+        t.worker = 3
+        t.reset_for_replay()
+        assert t.npred == 5
+        assert t.state == TaskState.CREATED
+        assert not t.armed
+        assert t.worker == -1
+        assert math.isnan(t.started_at)
+        assert math.isnan(t.completed_at)
+
+    def test_reset_keeps_successors(self):
+        a, b = Task(0), Task(1)
+        a.successors.append(b)
+        a.reset_for_replay()
+        assert a.successors == [b]
+
+    def test_reset_clears_detach(self):
+        t = Task(0)
+        t.detach_pending = True
+        t.reset_for_replay()
+        assert not t.detach_pending
+
+
+class TestDepMode:
+    def test_modes_distinct(self):
+        assert len({DepMode.IN, DepMode.OUT, DepMode.INOUT, DepMode.INOUTSET}) == 4
+
+    def test_mode_values_stable(self):
+        # Stable integer values: tests and traces may persist them.
+        assert DepMode.IN == 0
+        assert DepMode.OUT == 1
+        assert DepMode.INOUT == 2
+        assert DepMode.INOUTSET == 3

@@ -1,0 +1,45 @@
+"""Unit tests for task throttling config."""
+
+import pytest
+
+from repro.core.throttling import ThrottleConfig
+
+
+class TestFactories:
+    def test_disabled_never_blocks(self):
+        t = ThrottleConfig.disabled()
+        assert not t.should_block(10**9, 10**9)
+
+    def test_mpc_default_total_cap(self):
+        t = ThrottleConfig.mpc_default()
+        assert t.total_cap == 10_000_000
+        assert t.ready_cap is None
+
+    def test_ready_bound(self):
+        t = ThrottleConfig.ready_bound(64)
+        assert t.ready_cap == 64
+        assert t.total_cap is None
+
+
+class TestShouldBlock:
+    def test_ready_cap_blocks(self):
+        t = ThrottleConfig(ready_cap=4, total_cap=None)
+        assert not t.should_block(3, 100)
+        assert t.should_block(4, 100)
+
+    def test_total_cap_blocks(self):
+        t = ThrottleConfig(ready_cap=None, total_cap=10)
+        assert not t.should_block(0, 9)
+        assert t.should_block(0, 10)
+
+    def test_both_caps(self):
+        t = ThrottleConfig(ready_cap=5, total_cap=10)
+        assert t.should_block(5, 0)
+        assert t.should_block(0, 10)
+        assert not t.should_block(4, 9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThrottleConfig(ready_cap=0)
+        with pytest.raises(ValueError):
+            ThrottleConfig(total_cap=-1)

@@ -1,0 +1,37 @@
+"""The example scripts must stay runnable (documentation that executes)."""
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    sys.path.insert(0, str(EXAMPLES))
+    try:
+        mod = importlib.import_module(name)
+        mod.main()
+    finally:
+        sys.path.remove(str(EXAMPLES))
+        sys.modules.pop(name, None)
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "optimizations" in out
+        assert "edges materialized" in out
+
+    def test_numeric_validation(self, capsys):
+        out = run_example("numeric_validation", capsys)
+        assert "bitwise equal = True" in out
+        assert "L L^T == A -> True" in out
+
+    def test_persistent_graph(self, capsys):
+        out = run_example("persistent_graph", capsys)
+        assert "speedup" in out
+        assert "caught:" in out

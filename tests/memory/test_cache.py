@@ -1,0 +1,83 @@
+"""Unit tests for the LRU cache."""
+
+import pytest
+
+from repro.memory.cache import LRUCache
+
+
+class TestBasics:
+    def test_insert_and_touch(self):
+        c = LRUCache(1000)
+        c.insert(1, 100)
+        assert c.touch(1)
+        assert not c.touch(2)
+        assert c.used_bytes == 100
+
+    def test_capacity_never_exceeded(self):
+        c = LRUCache(250)
+        for i in range(10):
+            c.insert(i, 100)
+            assert c.used_bytes <= 250
+
+    def test_lru_eviction_order(self):
+        c = LRUCache(300)
+        c.insert(1, 100)
+        c.insert(2, 100)
+        c.insert(3, 100)
+        c.touch(1)  # 2 becomes LRU
+        c.insert(4, 100)
+        assert 1 in c
+        assert 2 not in c
+        assert 3 in c
+        assert 4 in c
+
+    def test_oversized_chunk_bypasses(self):
+        c = LRUCache(100)
+        c.insert(1, 50)
+        c.insert(2, 1000)
+        assert 2 not in c
+        assert 1 in c  # untouched by the streaming access
+
+    def test_reinsert_updates_size(self):
+        c = LRUCache(1000)
+        c.insert(1, 100)
+        c.insert(1, 300)
+        assert c.used_bytes == 300
+        assert len(c) == 1
+
+    def test_invalidate(self):
+        c = LRUCache(1000)
+        c.insert(1, 100)
+        assert c.invalidate(1)
+        assert not c.invalidate(1)
+        assert c.used_bytes == 0
+
+    def test_clear(self):
+        c = LRUCache(1000)
+        for i in range(5):
+            c.insert(i, 10)
+        c.clear()
+        assert len(c) == 0
+        assert c.used_bytes == 0
+
+    def test_zero_byte_chunk(self):
+        c = LRUCache(100)
+        c.insert(1, 0)
+        assert 1 in c
+        assert c.used_bytes == 0
+
+    def test_negative_bytes_rejected(self):
+        c = LRUCache(100)
+        with pytest.raises(ValueError):
+            c.insert(1, -1)
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_chunks_in_lru_order(self):
+        c = LRUCache(1000)
+        c.insert(1, 10)
+        c.insert(2, 10)
+        c.touch(1)
+        assert list(c.chunks()) == [2, 1]

@@ -1,0 +1,65 @@
+"""Unit tests for machine specs."""
+
+import pytest
+
+from repro.memory.machine import (
+    MachineSpec,
+    epyc_7763_numa,
+    skylake_8168,
+    tiny_test_machine,
+)
+
+
+class TestPresets:
+    def test_skylake_shape(self):
+        m = skylake_8168()
+        assert m.n_cores == 24
+        assert m.l1_bytes < m.l2_bytes < m.l3_bytes
+
+    def test_epyc_shape(self):
+        m = epyc_7763_numa()
+        assert m.n_cores == 16
+
+    def test_tiny(self):
+        assert tiny_test_machine(3).n_cores == 3
+
+
+class TestDerived:
+    def test_with_cores(self):
+        m = skylake_8168().with_cores(8)
+        assert m.n_cores == 8
+        assert m.l3_bytes == skylake_8168().l3_bytes
+
+    def test_scaled(self):
+        m = skylake_8168().scaled(0.5)
+        assert m.l3_bytes == skylake_8168().l3_bytes // 2
+        assert m.dram_bw == skylake_8168().dram_bw  # bandwidths untouched
+
+    def test_scaled_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            skylake_8168().scaled(0)
+
+
+class TestValidation:
+    def test_cache_ordering_enforced(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            MachineSpec(
+                name="bad",
+                n_cores=1,
+                freq_hz=1e9,
+                flops_per_core=1e9,
+                l1_bytes=1024,
+                l2_bytes=512,
+                l3_bytes=2048,
+                l1_bw=1e9,
+                l2_bw=1e9,
+                l3_bw=1e9,
+                dram_bw=1e9,
+                l1_lat_cycles=1,
+                l2_lat_cycles=2,
+                l3_lat_cycles=3,
+            )
+
+    def test_positive_cores_enforced(self):
+        with pytest.raises(ValueError):
+            tiny_test_machine(0)

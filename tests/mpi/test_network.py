@@ -1,0 +1,48 @@
+"""Unit tests for the network model."""
+
+import pytest
+
+from repro.mpi.network import NetworkSpec, bxi_like, slow_ethernet
+
+
+class TestProtocols:
+    def test_eager_threshold(self):
+        n = NetworkSpec(eager_threshold=1024)
+        assert n.is_eager(1024)
+        assert not n.is_eager(1025)
+
+    def test_transfer_time_monotone(self):
+        n = bxi_like()
+        assert n.transfer_time(1000) < n.transfer_time(100_000)
+
+    def test_transfer_includes_latency(self):
+        n = NetworkSpec(latency=1e-5, bandwidth=1e9)
+        assert n.transfer_time(0) == pytest.approx(1e-5)
+
+
+class TestAllreduce:
+    def test_single_rank_cheap(self):
+        n = bxi_like()
+        assert n.allreduce_time(1, 8) < n.allreduce_time(2, 8)
+
+    def test_log_growth(self):
+        n = bxi_like()
+        t4 = n.allreduce_time(4, 8)
+        t64 = n.allreduce_time(64, 8)
+        t1024 = n.allreduce_time(1024, 8)
+        # 4 -> 64 -> 1024 each add 4 doublings: equal increments.
+        assert t64 - t4 == pytest.approx(t1024 - t64, rel=0.01)
+
+    def test_bad_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            bxi_like().allreduce_time(0, 8)
+
+
+class TestPresets:
+    def test_slow_ethernet_is_slower(self):
+        assert slow_ethernet().bandwidth < bxi_like().bandwidth
+        assert slow_ethernet().latency > bxi_like().latency
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkSpec(bandwidth=0)

@@ -1,0 +1,44 @@
+"""Unit tests for the §2.3.1 time breakdown."""
+
+import numpy as np
+import pytest
+
+from repro.core import ProgramBuilder
+from repro.memory import tiny_test_machine
+from repro.profiler.breakdown import breakdown_of
+from repro.runtime import RuntimeConfig, TaskRuntime
+
+
+def run(n_tasks=20, n_threads=4):
+    b = ProgramBuilder("p")
+    with b.iteration():
+        for i in range(n_tasks):
+            b.task(f"t{i}", out=[("y", i)], flops=10_000.0)
+    return TaskRuntime(
+        b.build(), RuntimeConfig(machine=tiny_test_machine(n_threads))
+    ).run()
+
+
+class TestBreakdown:
+    def test_accounting_identity(self):
+        r = run()
+        bd = breakdown_of(r)
+        assert bd.accounted_avg == pytest.approx(bd.makespan, rel=1e-6)
+
+    def test_components_non_negative(self):
+        bd = breakdown_of(run())
+        assert bd.work_avg >= 0
+        assert bd.idle_avg >= 0
+        assert bd.overhead_avg >= 0
+        assert bd.discovery >= 0
+
+    def test_totals_scale_with_threads(self):
+        bd = breakdown_of(run(n_threads=4))
+        assert bd.work_total == pytest.approx(bd.work_avg * 4)
+
+    def test_row_keys(self):
+        row = breakdown_of(run()).row()
+        assert set(row) == {"makespan", "work", "idle", "overhead", "discovery"}
+
+    def test_str_smoke(self):
+        assert "work=" in str(breakdown_of(run()))

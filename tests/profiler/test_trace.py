@@ -1,0 +1,42 @@
+"""Unit tests for trace recording."""
+
+import numpy as np
+
+from repro.profiler.trace import CommRecord, TaskTrace
+
+
+class TestTaskTrace:
+    def test_record_and_arrays(self):
+        t = TaskTrace()
+        t.record(0, "a", 1, 0, 2, 0.0, 1.0)
+        t.record(1, "b", 1, 0, 3, 1.0, 2.0)
+        cols = t.arrays()
+        assert list(cols["tid"]) == [0, 1]
+        assert list(cols["worker"]) == [2, 3]
+        assert t.names() == ["a", "b"]
+        assert len(t) == 2
+
+    def test_disabled_records_nothing(self):
+        t = TaskTrace(enabled=False)
+        t.record(0, "a", 1, 0, 2, 0.0, 1.0)
+        assert len(t) == 0
+
+    def test_work_intervals_sorted_per_worker(self):
+        t = TaskTrace()
+        t.record(0, "a", 0, 0, 0, 5.0, 6.0)
+        t.record(1, "b", 0, 0, 0, 1.0, 2.0)
+        t.record(2, "c", 0, 0, 1, 3.0, 4.0)
+        ivs = t.work_intervals_by_worker(2)
+        assert np.allclose(ivs[0], [[1.0, 2.0], [5.0, 6.0]])
+        assert np.allclose(ivs[1], [[3.0, 4.0]])
+
+    def test_empty_arrays(self):
+        t = TaskTrace()
+        cols = t.arrays()
+        assert len(cols["start"]) == 0
+
+
+class TestCommRecord:
+    def test_duration(self):
+        r = CommRecord("isend", 0, 1, 100, 2.0, 5.0)
+        assert r.duration == 3.0

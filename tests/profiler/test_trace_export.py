@@ -1,0 +1,49 @@
+"""Round-trip tests for trace serialization."""
+
+import numpy as np
+
+from repro.profiler.trace import TaskTrace
+
+
+def sample_trace():
+    t = TaskTrace()
+    t.record(0, "a[0]", 1, 0, 2, 0.0, 1.5)
+    t.record(1, "b[0]", 2, 1, 3, 1.5, 2.25)
+    return t
+
+
+class TestJsonLines:
+    def test_round_trip(self):
+        t = sample_trace()
+        t2 = TaskTrace.from_json_lines(t.to_json_lines())
+        a, b = t.arrays(), t2.arrays()
+        for k in a:
+            assert np.array_equal(a[k], b[k]), k
+        assert t.names() == t2.names()
+
+    def test_one_line_per_record(self):
+        assert len(sample_trace().to_json_lines().splitlines()) == 2
+
+    def test_empty_trace(self):
+        assert TaskTrace().to_json_lines() == ""
+        assert len(TaskTrace.from_json_lines("")) == 0
+
+    def test_blank_lines_ignored(self):
+        t = TaskTrace.from_json_lines("\n" + sample_trace().to_json_lines() + "\n\n")
+        assert len(t) == 2
+
+    def test_runtime_trace_exports(self):
+        from repro.core import ProgramBuilder
+        from repro.memory import tiny_test_machine
+        from repro.runtime import RuntimeConfig, TaskRuntime
+
+        b = ProgramBuilder("p")
+        with b.iteration():
+            for i in range(5):
+                b.task(f"t{i}", out=[("y", i)], flops=1000.0)
+        r = TaskRuntime(
+            b.build(), RuntimeConfig(machine=tiny_test_machine(2), trace=True)
+        ).run()
+        text = r.trace.to_json_lines()
+        assert len(text.splitlines()) == 5
+        assert '"worker"' in text

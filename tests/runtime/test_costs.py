@@ -1,0 +1,70 @@
+"""Unit tests for the discovery/scheduler cost models."""
+
+import pytest
+
+from repro.core.dependences import ResolutionResult
+from repro.core.program import TaskSpec
+from repro.runtime.costs import DiscoveryCosts, SchedulerCosts
+from repro.util.units import us
+
+
+class TestDiscoveryCosts:
+    def test_creation_cost_components(self):
+        c = DiscoveryCosts(
+            c_task=1.0 * us,
+            c_dep=0.1 * us,
+            c_edge=0.5 * us,
+            c_edge_skip=0.2 * us,
+            c_redirect=2.0 * us,
+        )
+        res = ResolutionResult(n_addrs=3, n_edges=2, n_skipped=4, n_redirects=1)
+        spec = TaskSpec(name="t")
+        expected = (1.0 + 0.3 + 1.0 + 0.8 + 2.0) * us
+        assert c.creation_cost(spec, res) == pytest.approx(expected)
+
+    def test_replay_cost(self):
+        c = DiscoveryCosts(c_replay=0.25 * us, c_fp_byte=2e-9)
+        spec = TaskSpec(name="t", fp_bytes=100)
+        assert c.replay_cost(spec) == pytest.approx(0.25 * us + 200e-9)
+
+    def test_replay_much_cheaper_than_creation(self):
+        """The premise of §3.2: replay is a single memcpy."""
+        c = DiscoveryCosts()
+        spec = TaskSpec(name="t", fp_bytes=48)
+        res = ResolutionResult(n_addrs=8, n_edges=8)
+        assert c.replay_cost(spec) < c.creation_cost(spec, res) / 5
+
+    def test_scaled(self):
+        c = DiscoveryCosts().scaled(0.1)
+        assert c.c_task == pytest.approx(DiscoveryCosts().c_task * 0.1)
+        assert c.c_edge == pytest.approx(DiscoveryCosts().c_edge * 0.1)
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DiscoveryCosts().scaled(-1.0)
+
+    def test_negative_constant_rejected(self):
+        with pytest.raises(ValueError):
+            DiscoveryCosts(c_task=-1.0)
+
+    def test_edge_cost_dominates_at_scale(self):
+        """Table 2 calibration: at ~32 edges/task, edges dominate."""
+        c = DiscoveryCosts()
+        spec = TaskSpec(name="t")
+        res = ResolutionResult(n_addrs=7, n_edges=32)
+        total = c.creation_cost(spec, res)
+        assert c.c_edge * 32 > 0.5 * total
+
+
+class TestSchedulerCosts:
+    def test_scaled(self):
+        s = SchedulerCosts().scaled(0.5)
+        assert s.c_pop == pytest.approx(SchedulerCosts().c_pop * 0.5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SchedulerCosts(c_pop=-1e-9)
+
+    def test_steal_costlier_than_pop(self):
+        s = SchedulerCosts()
+        assert s.c_steal > s.c_pop

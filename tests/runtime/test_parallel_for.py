@@ -1,0 +1,133 @@
+"""Tests of the fork-join (parallel-for) reference model."""
+
+import numpy as np
+import pytest
+
+from repro.core.program import CommKind
+from repro.memory import tiny_test_machine
+from repro.runtime import RuntimeConfig
+from repro.runtime.parallel_for import (
+    BlockingCollectiveSpec,
+    ForIteration,
+    ForProgram,
+    HaloExchangeSpec,
+    LoopSpec,
+    P2PSpec,
+    ParallelForRuntime,
+)
+
+
+def cfg(**kw):
+    kw.setdefault("machine", tiny_test_machine(4))
+    return RuntimeConfig(**kw)
+
+
+def run_program(phases, iterations=1, **kw):
+    prog = ForProgram([ForIteration(phases=list(phases)) for _ in range(iterations)])
+    return ParallelForRuntime(prog, cfg(**kw)).run()
+
+
+class TestLoops:
+    def test_flop_bound_loop(self):
+        r = run_program([LoopSpec("l", flops=4e6, bytes_streamed=0)])
+        # 4 threads at 1 Gflop/s -> 1 ms plus barrier.
+        assert r.makespan == pytest.approx(1e-3, rel=0.05)
+
+    def test_memory_bound_loop(self):
+        r = run_program([LoopSpec("l", flops=0.0, bytes_streamed=10_000_000)])
+        assert r.makespan == pytest.approx(1e-3, rel=0.05)  # 10MB / 10GB/s
+
+    def test_work_accounted_on_all_threads(self):
+        r = run_program([LoopSpec("l", flops=4e6, bytes_streamed=0)])
+        assert np.allclose(r.work, r.work[0])
+        assert r.work[0] > 0
+
+    def test_barrier_counts_as_overhead(self):
+        r = run_program([LoopSpec("l", flops=1000.0, bytes_streamed=0)])
+        assert np.all(r.overhead > 0)
+
+    def test_loops_serialize(self):
+        r1 = run_program([LoopSpec("a", flops=4e6, bytes_streamed=0)])
+        r2 = run_program([LoopSpec("a", flops=4e6, bytes_streamed=0)] * 3)
+        assert r2.makespan == pytest.approx(3 * r1.makespan, rel=0.01)
+
+    def test_chunked_footprint_reuse(self):
+        """A loop set with a cache-resident workset speeds up after the
+        first pass."""
+        loop = LoopSpec("l", flops=0.0, bytes_streamed=4096,
+                        footprint=((1, 4096),))
+        r = run_program([loop], iterations=3)
+        # First iteration pays DRAM, later ones L3.
+        assert r.mem.bytes_dram == 4096
+        assert r.mem.bytes_l3 == 2 * 4096
+
+    def test_negative_loop_rejected(self):
+        with pytest.raises(ValueError):
+            LoopSpec("l", flops=-1.0, bytes_streamed=0)
+
+
+class TestCommPhases:
+    def test_blocking_collective_advances_clock(self):
+        from repro.cluster.cluster import Cluster
+
+        cluster = Cluster(2)
+        prog = ForProgram([ForIteration(phases=[BlockingCollectiveSpec(8)])])
+        prog2 = ForProgram([ForIteration(phases=[
+            LoopSpec("pre", flops=4e6, bytes_streamed=0),
+            BlockingCollectiveSpec(8),
+        ])])
+        res = cluster.run([prog, prog2], [cfg(), cfg()])
+        # Rank 0 has to wait for rank 1's pre-loop before its collective.
+        c0 = res.results[0].comm[0]
+        assert c0.duration > 0.9e-3
+
+    def test_halo_exchange_waits_all(self):
+        from repro.cluster.cluster import Cluster
+
+        cluster = Cluster(2)
+        def prog(rank):
+            ops = (
+                P2PSpec(CommKind.ISEND, 1 - rank, 0, 1000),
+                P2PSpec(CommKind.IRECV, 1 - rank, 0, 1000),
+            )
+            return ForProgram([ForIteration(phases=[HaloExchangeSpec(ops)])])
+        res = cluster.run([prog(0), prog(1)], [cfg(), cfg()])
+        for r in res.results:
+            assert len(r.comm) == 2
+
+    def test_empty_halo_phase(self):
+        r = run_program([HaloExchangeSpec(())])
+        assert r.makespan >= 0
+
+    def test_comm_without_communicator_raises(self):
+        prog = ForProgram([ForIteration(phases=[BlockingCollectiveSpec(8)])])
+        rt = ParallelForRuntime(prog, cfg())
+        with pytest.raises(RuntimeError, match="communicator"):
+            rt.run()
+
+
+class TestLifecycle:
+    def test_result_before_done_raises(self):
+        prog = ForProgram([ForIteration(phases=[LoopSpec("l", 100.0, 0)])])
+        rt = ParallelForRuntime(prog, cfg())
+        rt.start()
+        with pytest.raises(RuntimeError):
+            rt.result()
+
+    def test_double_start_rejected(self):
+        prog = ForProgram([ForIteration(phases=[])])
+        rt = ParallelForRuntime(prog, cfg())
+        rt.start()
+        with pytest.raises(RuntimeError, match="twice"):
+            rt.start()
+
+    def test_empty_program(self):
+        r = run_program([])
+        assert r.makespan == 0.0
+
+    def test_unknown_phase_type_rejected(self):
+        prog = ForProgram([ForIteration(phases=["bogus"])])
+        rt = ParallelForRuntime(prog, cfg())
+        rt.start()
+        with pytest.raises(TypeError):
+            rt.engine.run()

@@ -1,0 +1,124 @@
+"""Tests for runtime presets and RunResult derived metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import OptimizationSet, ProgramBuilder
+from repro.memory import skylake_8168, tiny_test_machine
+from repro.runtime import RuntimeConfig, TaskRuntime, presets
+
+
+class TestPresets:
+    def test_mpc_defaults(self):
+        cfg = presets.mpc_omp()
+        assert cfg.scheduler == "lifo-df"
+        assert cfg.throttle.total_cap == 10_000_000
+        assert cfg.opts == OptimizationSet.abc()
+
+    def test_mpc_opts_string(self):
+        assert presets.mpc_omp(opts="bp").opts == OptimizationSet.parse("bp")
+
+    def test_mpc_overrides(self):
+        cfg = presets.mpc_omp(scheduler="fifo-bf", non_overlapped=True)
+        assert cfg.scheduler == "fifo-bf"
+        assert cfg.non_overlapped
+
+    def test_llvm_shape(self):
+        cfg = presets.llvm_like()
+        assert cfg.opts.c and not cfg.opts.b
+        assert cfg.throttle.ready_cap is not None
+        assert cfg.discovery.c_edge > presets.mpc_omp().discovery.c_edge
+
+    def test_llvm_throttling_off(self):
+        cfg = presets.llvm_like(throttling=False)
+        assert cfg.throttle.ready_cap is None
+        assert cfg.throttle.total_cap is None
+
+    def test_gcc_shape(self):
+        cfg = presets.gcc_like()
+        assert cfg.opts.b and not cfg.opts.c
+        assert cfg.scheduler == "fifo-bf"
+
+    def test_discovery_ordering(self):
+        """MPC discovers fastest, GCC slowest (per §2.3/§3.3)."""
+        m, l, g = presets.mpc_omp(), presets.llvm_like(), presets.gcc_like()
+        assert m.discovery.c_task <= l.discovery.c_task <= g.discovery.c_task
+
+
+class TestRuntimeConfigValidation:
+    def test_too_many_threads(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            RuntimeConfig(machine=tiny_test_machine(2), n_threads=8)
+
+    def test_zero_threads(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(machine=tiny_test_machine(2), n_threads=0)
+
+    def test_threads_property_defaults_to_cores(self):
+        assert RuntimeConfig(machine=tiny_test_machine(3)).threads == 3
+
+
+class TestRunResult:
+    @pytest.fixture()
+    def result(self):
+        b = ProgramBuilder("p")
+        with b.iteration():
+            for i in range(12):
+                b.task(f"t{i}", out=[("y", i)], flops=10_000.0)
+        return TaskRuntime(
+            b.build(), RuntimeConfig(machine=tiny_test_machine(4))
+        ).run()
+
+    def test_totals_match_sums(self, result):
+        assert result.work_total == pytest.approx(float(result.work.sum()))
+        assert result.overhead_total == pytest.approx(float(result.overhead.sum()))
+
+    def test_averages(self, result):
+        assert result.work_avg == pytest.approx(result.work_total / 4)
+
+    def test_per_task_metrics(self, result):
+        assert result.work_per_task == pytest.approx(result.work_total / 12)
+        assert result.overhead_per_task > 0
+
+    def test_spans_ordered(self, result):
+        d0, d1 = result.discovery_span
+        e0, e1 = result.execution_span
+        assert d0 <= d1
+        assert e0 <= e1
+        assert result.discovery_wall == pytest.approx(d1 - d0)
+        assert result.execution_time == pytest.approx(e1 - e0)
+
+    def test_summary_contains_key_numbers(self, result):
+        s = result.summary()
+        assert "tasks=12" in s
+        assert "makespan=" in s
+
+    def test_zero_task_result_metrics(self):
+        from repro.core.program import Program
+
+        r = TaskRuntime(
+            Program([], name="empty"), RuntimeConfig(machine=tiny_test_machine(2))
+        ).run()
+        assert r.work_per_task == 0.0
+        assert r.overhead_per_task == 0.0
+
+
+class TestContention:
+    def test_shared_pop_contention_charged(self):
+        """Popping from shared queues costs more when many threads are busy."""
+        from repro.runtime.costs import SchedulerCosts
+
+        b = ProgramBuilder("p")
+        with b.iteration():
+            for i in range(200):
+                b.task(f"t{i}", out=[("y", i)], flops=5000.0)
+        prog = b.build()
+        lo = TaskRuntime(prog, RuntimeConfig(
+            machine=tiny_test_machine(4),
+            sched=SchedulerCosts(c_contention=0.0),
+        )).run()
+        hi = TaskRuntime(prog, RuntimeConfig(
+            machine=tiny_test_machine(4),
+            sched=SchedulerCosts(c_contention=5e-6),
+        )).run()
+        assert hi.overhead_total > lo.overhead_total

@@ -1,0 +1,77 @@
+"""Single-thread progress guarantees (regression tests for a real bug).
+
+With one thread, the producer is the only executor; barriers and taskwait
+are scheduling points where it must *help* (execute ready tasks) or the
+simulation deadlocks.  These tests pin that behavior for every waiting
+state.
+"""
+
+import pytest
+
+from repro.core import OptimizationSet, ThrottleConfig
+from repro.core.program import CommKind, CommSpec, Program, TaskSpec
+from repro.core.task import DepMode
+from repro.memory import tiny_test_machine
+from repro.runtime import RuntimeConfig, TaskRuntime
+
+
+def cfg(**kw):
+    kw.setdefault("machine", tiny_test_machine(4))
+    kw.setdefault("n_threads", 1)
+    return RuntimeConfig(**kw)
+
+
+class TestSingleThread:
+    def test_persistent_barrier_single_thread(self):
+        specs = [
+            TaskSpec(name="a", depends=((0, DepMode.INOUT),), flops=1000.0),
+            TaskSpec(name="b", depends=((1, DepMode.INOUT),), flops=1000.0),
+        ]
+        prog = Program.from_template(specs, 3, persistent_candidate=True)
+        r = TaskRuntime(prog, cfg(opts=OptimizationSet.parse("abcp"))).run()
+        assert r.n_tasks == 6
+
+    def test_taskwait_single_thread(self):
+        specs = [
+            TaskSpec(name="a", depends=((0, DepMode.OUT),), flops=1000.0),
+            TaskSpec(name="tw", barrier=True),
+            TaskSpec(name="b", depends=((0, DepMode.IN),), flops=1000.0),
+        ]
+        prog = Program.from_template(specs, 2)
+        r = TaskRuntime(prog, cfg()).run()
+        assert r.n_tasks == 4
+
+    def test_throttle_single_thread(self):
+        specs = [
+            TaskSpec(name=f"t{i}", depends=((i, DepMode.OUT),), flops=1000.0)
+            for i in range(20)
+        ]
+        prog = Program.from_template(specs, 1)
+        r = TaskRuntime(prog, cfg(throttle=ThrottleConfig(total_cap=2))).run()
+        assert r.n_tasks == 20
+
+    def test_detached_comm_single_thread(self):
+        specs = [
+            TaskSpec(name="red", depends=((0, DepMode.OUT),),
+                     comm=CommSpec(CommKind.IALLREDUCE, 8)),
+            TaskSpec(name="use", depends=((0, DepMode.IN),), flops=1000.0),
+        ]
+        prog = Program.from_template(specs, 2, persistent_candidate=True)
+        r = TaskRuntime(prog, cfg(opts=OptimizationSet.parse("abcp"))).run()
+        assert r.n_tasks == 4
+
+    def test_persistent_barrier_with_taskwait_single_thread(self):
+        specs = [
+            TaskSpec(name="a", depends=((0, DepMode.INOUT),), flops=1000.0),
+            TaskSpec(name="tw", barrier=True),
+            TaskSpec(name="b", depends=((1, DepMode.INOUT),), flops=1000.0),
+        ]
+        prog = Program.from_template(specs, 3, persistent_candidate=True)
+        r = TaskRuntime(prog, cfg(opts=OptimizationSet.parse("p"))).run()
+        assert r.n_tasks == 6
+
+    def test_work_attributed_to_thread_zero(self):
+        specs = [TaskSpec(name="t", depends=((0, DepMode.OUT),), flops=1e6)]
+        prog = Program.from_template(specs, 1)
+        r = TaskRuntime(prog, cfg()).run()
+        assert r.work[0] > 0

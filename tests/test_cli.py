@@ -1,0 +1,85 @@
+"""CLI smoke and behavior tests (python -m repro ...)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        p = build_parser()
+        for cmd in ("lulesh", "hpcg", "cholesky", "sweep", "validate", "info"):
+            args = p.parse_args([cmd] if cmd in ("validate", "info") else [cmd])
+            assert callable(args.fn)
+
+    def test_bad_machine_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["lulesh", "--machine", "cray-1", "-s", "8", "-i", "1", "--tpl", "4"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "skylake" in out
+        assert "discovery costs" in out
+
+    def test_lulesh_single_rank(self, capsys):
+        rc = main(["lulesh", "-s", "16", "-i", "2", "--tpl", "16",
+                   "--machine", "tiny", "--threads", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tasks=" in out
+        assert "work=" in out
+
+    def test_lulesh_cluster(self, capsys):
+        rc = main(["lulesh", "-s", "12", "-i", "2", "--tpl", "8",
+                   "--ranks", "8", "--threads", "4", "--machine", "scaled-epyc"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cluster makespan" in out
+        assert "ratio" in out
+
+    def test_hpcg(self, capsys):
+        rc = main(["hpcg", "--rows", "4096", "-i", "2", "--tpl", "8",
+                   "--machine", "tiny", "--threads", "4"])
+        assert rc == 0
+        assert "grain=" in capsys.readouterr().out
+
+    def test_cholesky(self, capsys):
+        rc = main(["cholesky", "-n", "512", "-b", "128", "-i", "2",
+                   "--machine", "tiny", "--threads", "4"])
+        assert rc == 0
+        assert "per factorization" in capsys.readouterr().out
+
+    def test_sweep(self, capsys):
+        rc = main(["sweep", "-s", "12", "-i", "2", "--tpl-min", "4",
+                   "--tpl-max", "32", "--points", "3", "--machine", "tiny",
+                   "--threads", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "best TPL=" in out
+        assert "TPL sweep" in out
+
+    def test_validate(self, capsys):
+        assert main(["validate"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_validate_with_opts(self, capsys):
+        assert main(["validate", "--opts", "b"]) == 0
+
+
+class TestOffloadFlag:
+    def test_lulesh_offload(self, capsys):
+        from repro.cli import main
+
+        rc = main(["lulesh", "-s", "12", "-i", "2", "--tpl", "8",
+                   "--machine", "tiny", "--threads", "4", "--offload"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "accelerator:" in out
+        assert "stream" in out

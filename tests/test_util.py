@@ -1,0 +1,81 @@
+"""Tests for the util helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import DEFAULT_SEED, make_rng
+from repro.util.units import GiB, KiB, MiB, fmt_bytes, fmt_count, fmt_time, ms, ns, us
+from repro.util.validation import check_in, check_non_negative, check_positive
+
+
+class TestUnits:
+    def test_byte_constants(self):
+        assert MiB == 1024 * KiB
+        assert GiB == 1024 * MiB
+
+    def test_time_constants(self):
+        assert us == pytest.approx(1000 * ns)
+        assert ms == pytest.approx(1000 * us)
+
+    @pytest.mark.parametrize("value,expected", [
+        (2.0, "2.00s"),
+        (0.0042, "4.20ms"),
+        (3.5e-6, "3.50us"),
+        (250e-9, "250ns"),
+    ])
+    def test_fmt_time(self, value, expected):
+        assert fmt_time(value) == expected
+
+    def test_fmt_time_nan(self):
+        assert fmt_time(float("nan")) == "nan"
+
+    @pytest.mark.parametrize("value,expected", [
+        (512, "512B"),
+        (2048, "2.00KiB"),
+        (3 * MiB, "3.00MiB"),
+        (GiB, "1.00GiB"),
+    ])
+    def test_fmt_bytes(self, value, expected):
+        assert fmt_bytes(value) == expected
+
+    @pytest.mark.parametrize("value,expected", [
+        (42, "42"),
+        (1500, "1.5K"),
+        (2_500_000, "2.50M"),
+        (7_500_000_000, "7.50B"),
+    ])
+    def test_fmt_count(self, value, expected):
+        assert fmt_count(value) == expected
+
+
+class TestRng:
+    def test_deterministic_default(self):
+        assert make_rng().integers(1 << 30) == make_rng().integers(1 << 30)
+
+    def test_explicit_seed(self):
+        a = make_rng(7).random(4)
+        b = make_rng(7).random(4)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert make_rng(1).integers(1 << 30) != make_rng(2).integers(1 << 30)
+
+    def test_default_seed_constant(self):
+        assert DEFAULT_SEED == 0x5EED
+
+
+class TestValidation:
+    def test_check_positive(self):
+        check_positive("x", 1)
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", 0)
+
+    def test_check_non_negative(self):
+        check_non_negative("x", 0)
+        with pytest.raises(ValueError):
+            check_non_negative("x", -1)
+
+    def test_check_in(self):
+        check_in("mode", "a", ("a", "b"))
+        with pytest.raises(ValueError, match="one of"):
+            check_in("mode", "z", ("a", "b"))
