@@ -15,7 +15,10 @@ studies on real hardware:
   proxies *and* numerically real kernels for validation);
 - :mod:`repro.profiler` / :mod:`repro.analysis` — the paper's §2.3.1/§4.1
   methodology: breakdowns, communication overlap, Gantt charts, METG,
-  TPL sweeps, scaling models.
+  TPL sweeps, scaling models;
+- :mod:`repro.verify` — DES-free static verification: race detection over
+  declared footprints, depend-clause lint, persistence safety and
+  discovery-cost prediction (``python -m repro lint``).
 
 Quickstart::
 
@@ -64,6 +67,7 @@ from repro.analysis import (
     scaled_skylake,
 )
 from repro.profiler import breakdown_of, comm_metrics, gantt_of
+from repro.verify import verify_program
 
 __all__ = [
     "__version__",
@@ -102,4 +106,5 @@ __all__ = [
     "breakdown_of",
     "comm_metrics",
     "gantt_of",
+    "verify_program",
 ]

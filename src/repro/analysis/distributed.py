@@ -3,9 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable, Optional
+from typing import Optional
 
-from repro.analysis.calibration import scaled_epyc, scaled_mpc, scale_costs
+from repro.analysis.calibration import scaled_epyc, scaled_mpc
 from repro.apps import hpcg as hpcg_app
 from repro.apps import lulesh as lulesh_app
 from repro.cluster.cluster import Cluster, ClusterResult

@@ -23,7 +23,7 @@ from repro.apps.lulesh.forloop import build_for_program
 from repro.apps.lulesh.taskbased import build_task_program
 from repro.cluster.cluster import Cluster
 from repro.core.optimizations import OptimizationSet
-from repro.mpi.network import NetworkSpec, bxi_like
+from repro.mpi.network import NetworkSpec
 from repro.runtime.runtime import RuntimeConfig, TaskRuntime
 
 

@@ -6,7 +6,7 @@ these helpers keep the formatting uniform.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 
 def render_table(

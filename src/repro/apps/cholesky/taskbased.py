@@ -14,7 +14,7 @@ from typing import Iterable
 
 from repro.apps.cholesky.config import CholeskyConfig
 from repro.core.program import CommKind, CommSpec, Program, TaskSpec
-from repro.core.task import Dep, DepMode
+from repro.core.task import AccessMode, Dep, DepMode, FootprintAccess
 
 
 class _Interner:
@@ -132,8 +132,10 @@ class _RankBuilder:
             )
         return self._recv_addr[key]
 
-    def _tile_chunk(self, ij: tuple[int, int]) -> tuple[int, int]:
-        return (self.chunk(("tile", ij)), self.cfg.tile_bytes)
+    def _tile_chunk(
+        self, ij: tuple[int, int], mode: AccessMode = AccessMode.READ
+    ) -> FootprintAccess:
+        return (self.chunk(("tile", ij)), self.cfg.tile_bytes, mode)
 
     @staticmethod
     def _tag(ij: tuple[int, int], phase: int, dst: int) -> int:
@@ -154,13 +156,13 @@ class _RankBuilder:
         if any(self.cfg.owner(*ij) != self.rank for ij in updates):
             return  # not my task
         deps: list[Dep] = []
-        fp = []
+        fp: list[FootprintAccess] = []
         for ij in reads:
             deps.append((self._tile_addr(ij, phase), DepMode.IN))
             fp.append(self._tile_chunk(ij))
         for ij in updates:
             deps.append((self._tile_addr(ij), DepMode.INOUT))
-            fp.append(self._tile_chunk(ij))
+            fp.append(self._tile_chunk(ij, AccessMode.READWRITE))
         self.specs.append(
             TaskSpec(
                 name=name,

@@ -26,7 +26,7 @@ from typing import Sequence
 from repro.apps.hpcg.config import HpcgConfig
 from repro.cluster.mapping import Neighbor
 from repro.core.program import CommKind, CommSpec, Program, TaskSpec
-from repro.core.task import Dep, DepMode
+from repro.core.task import AccessMode, Dep, DepMode, FootprintAccess
 
 
 class _Interner:
@@ -59,8 +59,10 @@ def build_task_program(
     def vec(namev: str, i: int) -> int:
         return addr((namev, i))
 
-    def vchunk(namev: str, i: int) -> tuple[int, int]:
-        return (chunk((namev, i)), vb)
+    def vchunk(
+        namev: str, i: int, mode: AccessMode = AccessMode.READ
+    ) -> FootprintAccess:
+        return (chunk((namev, i)), vb, mode)
 
     alpha = addr("alpha")
     beta = addr("beta")
@@ -126,8 +128,8 @@ def build_task_program(
             # *traffic* is what the 27-point stencil actually reads: the
             # row block's own p neighborhood plus its share of A.
             fp = [vchunk("p", i)]
-            fp.append((chunk(("A", i, k)), max(1, mb // nsub)))
-            fp.append(vchunk("Ap", i))
+            fp.append((chunk(("A", i, k)), max(1, mb // nsub), AccessMode.READ))
+            fp.append(vchunk("Ap", i, AccessMode.READWRITE))
             specs.append(
                 TaskSpec(
                     name=f"SpMV[{i},{k}]",
@@ -178,7 +180,7 @@ def build_task_program(
                     (vec("x", i), DepMode.INOUT),
                 ),
                 flops=cfg.vector_flops_per_task,
-                footprint=(vchunk("p", i), vchunk("x", i)),
+                footprint=(vchunk("p", i), vchunk("x", i, AccessMode.READWRITE)),
                 fp_bytes=48,
                 loop_id=3,
             )
@@ -193,7 +195,7 @@ def build_task_program(
                     (vec("r", i), DepMode.INOUT),
                 ),
                 flops=cfg.vector_flops_per_task,
-                footprint=(vchunk("Ap", i), vchunk("r", i)),
+                footprint=(vchunk("Ap", i), vchunk("r", i, AccessMode.READWRITE)),
                 fp_bytes=48,
                 loop_id=4,
             )
@@ -234,7 +236,7 @@ def build_task_program(
                     (vec("p", i), DepMode.INOUT),
                 ),
                 flops=cfg.vector_flops_per_task,
-                footprint=(vchunk("r", i), vchunk("p", i)),
+                footprint=(vchunk("r", i), vchunk("p", i, AccessMode.READWRITE)),
                 fp_bytes=48,
                 loop_id=6,
             )

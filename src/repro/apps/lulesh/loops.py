@@ -11,7 +11,6 @@ scatter-accumulate into node forces — the ``inoutset`` pattern of Fig. 4.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
 
 #: An access target: (array, group) with array in {"nodes", "elems"}.
 Access = tuple[str, str]

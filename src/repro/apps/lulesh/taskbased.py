@@ -14,13 +14,13 @@ Optimization (a) is applied here, at the application level: with
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.apps.lulesh.config import ELEM_GROUPS, NODE_GROUPS, LuleshConfig
 from repro.apps.lulesh.loops import COMM_AFTER_LOOP, LOOP_SCHEDULE, LoopDef
 from repro.cluster.mapping import Neighbor
 from repro.core.program import CommKind, CommSpec, Program, TaskSpec
-from repro.core.task import Dep, DepMode
+from repro.core.task import AccessMode, Dep, DepMode, FootprintAccess
 
 
 class _Interner:
@@ -106,8 +106,14 @@ def build_task_program(
         nf = _group_fields(array, group)
         return [(addr((array, group, block, f)), mode) for f in range(nf)]
 
-    def block_chunk(array: str, group: str, block: int) -> tuple[int, int]:
-        return (chunk((array, group, block)), cfg.group_block_bytes(array, group))
+    def block_chunk(
+        array: str, group: str, block: int, mode: AccessMode
+    ) -> FootprintAccess:
+        return (
+            chunk((array, group, block)),
+            cfg.group_block_bytes(array, group),
+            mode,
+        )
 
     def neighborhood(block: int) -> range:
         return range(max(0, block - 1), min(tpl, block + 2))
@@ -121,21 +127,25 @@ def build_task_program(
         flops = cfg.flops_per_item * loop.flops_scale * items / tpl
         for i in range(tpl):
             deps: list[Dep] = [(dt_addr, DepMode.IN)]
-            fp: list[tuple[int, int]] = []
+            fp: list[FootprintAccess] = []
             for array, group in loop.reads:
                 blocks = [i] if array[0] == loop.over[0] else neighborhood(i)
                 for b in blocks:
                     deps.extend(dep_addrs(array, group, b, DepMode.IN))
-                    fp.append(block_chunk(array, group, b))
+                    fp.append(block_chunk(array, group, b, AccessMode.READ))
             if loop.ioset:
+                # Scatter-accumulation: each writer read-modify-writes its
+                # neighborhood blocks, concurrently with its inoutset peers.
                 for array, group in loop.writes:
                     for b in neighborhood(i):
                         deps.extend(dep_addrs(array, group, b, DepMode.INOUTSET))
-                        fp.append(block_chunk(array, group, b))
+                        fp.append(
+                            block_chunk(array, group, b, AccessMode.READWRITE)
+                        )
             else:
                 for array, group in loop.writes:
                     deps.extend(dep_addrs(array, group, i, DepMode.OUT))
-                    fp.append(block_chunk(array, group, i))
+                    fp.append(block_chunk(array, group, i, AccessMode.WRITE))
             if loop.dt_partial:
                 deps.append((addr(("dtred", loop.name, i)), DepMode.OUT))
             # Superblock mapping can repeat an item within one clause list;
@@ -201,7 +211,9 @@ def build_task_program(
                     name=f"Pack[{nb.rank}]",
                     depends=tuple(pack_deps),
                     flops=nbytes / 8.0,
-                    footprint=(block_chunk("nodes", "force", boundary),),
+                    footprint=(
+                        block_chunk("nodes", "force", boundary, AccessMode.READ),
+                    ),
                     fp_bytes=32,
                     loop_id=-3,
                     priority=True,
@@ -224,7 +236,11 @@ def build_task_program(
                     name=f"Unpack[{nb.rank}]",
                     depends=tuple(unpack_deps),
                     flops=nbytes / 8.0,
-                    footprint=(block_chunk("nodes", "force", boundary),),
+                    footprint=(
+                        block_chunk(
+                            "nodes", "force", boundary, AccessMode.READWRITE
+                        ),
+                    ),
                     fp_bytes=32,
                     loop_id=-3,
                     priority=True,

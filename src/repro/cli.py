@@ -17,12 +17,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.analysis.calibration import (
-    scale_costs,
-    scaled_epyc,
-    scaled_mpc,
-    scaled_skylake,
-)
+from repro.analysis.calibration import scale_costs, scaled_epyc, scaled_skylake
 from repro.analysis.sweep import geometric_tpls, run_sweep
 from repro.analysis.tables import render_series, render_table
 from repro.core.optimizations import OptimizationSet
@@ -211,6 +206,44 @@ def cmd_validate(args) -> int:
     return 1 if failures else 0
 
 
+def _lint_program(args):
+    """Build the (small, by default) program the lint subcommand analyses."""
+    opts = OptimizationSet.parse(args.opts)
+    if args.app == "lulesh":
+        from repro.apps.lulesh import LuleshConfig, build_task_program
+
+        return build_task_program(
+            LuleshConfig(s=args.s, iterations=args.i, tpl=args.tpl),
+            opt_a=opts.a,
+        )
+    if args.app == "hpcg":
+        from repro.apps.hpcg import HpcgConfig, build_task_program
+
+        return build_task_program(
+            HpcgConfig(n_rows=args.rows, iterations=args.i, tpl=args.tpl)
+        )
+    from repro.apps.cholesky import CholeskyConfig, build_task_programs
+
+    return build_task_programs(CholeskyConfig(n=args.n, b=args.b))[0]
+
+
+def cmd_lint(args) -> int:
+    from repro.verify import Severity, render_json, render_text, verify_program
+
+    config = _config(args)
+    program = _lint_program(args)
+    report = verify_program(
+        program,
+        config.opts,
+        machine=config.machine,
+        threads=args.threads,
+        costs=config.discovery,
+    )
+    print(render_json(report) if args.json else render_text(report))
+    threshold = Severity.parse(args.fail_on)
+    return 1 if report.at_least(threshold) else 0
+
+
 def cmd_info(args) -> int:
     from repro.memory.machine import epyc_7763_numa, skylake_8168
     from repro.mpi.network import bxi_like
@@ -230,6 +263,14 @@ def cmd_info(args) -> int:
     s = SchedulerCosts()
     print(f"scheduler costs: pop {s.c_pop * 1e6:.2f}us, "
           f"steal {s.c_steal * 1e6:.2f}us, complete {s.c_complete * 1e6:.2f}us")
+
+    from repro.verify import PASSES, RULES
+
+    print(f"\nverify passes ({', '.join(PASSES)}) — `repro lint` rules:")
+    for rule, desc in RULES.items():
+        print(f"  {rule:>14}: {desc}")
+    print("\nanalysis: graphtools (TDG shape/width), sweep (TPL curves), "
+          "calibration (scaled presets), distributed (cluster runs)")
     return 0
 
 
@@ -279,6 +320,25 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("validate", help="numeric end-to-end validation")
     p.add_argument("--opts", default="abcp")
     p.set_defaults(fn=cmd_validate)
+
+    p = sub.add_parser(
+        "lint", help="static verification: races, depend lint, cost prediction"
+    )
+    _add_runtime_args(p)
+    p.add_argument("app", choices=("lulesh", "hpcg", "cholesky"),
+                   help="task program to verify")
+    p.add_argument("-s", type=int, default=16, help="LULESH edge elements")
+    p.add_argument("-i", type=int, default=2, help="iterations")
+    p.add_argument("--tpl", type=int, default=16, help="tasks per loop")
+    p.add_argument("--rows", type=int, default=8192, help="HPCG local rows")
+    p.add_argument("-n", type=int, default=512, help="Cholesky dimension")
+    p.add_argument("-b", type=int, default=128, help="Cholesky tile size")
+    p.add_argument("--fail-on", choices=("info", "warning", "error"),
+                   default="error",
+                   help="exit 1 when a finding at or above this severity "
+                        "exists (default: error)")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("info", help="print presets and cost model")
     p.set_defaults(fn=cmd_info)

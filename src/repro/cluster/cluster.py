@@ -8,7 +8,7 @@ vs rendezvous matching and overlap all emerge from the common timeline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence, Union
 
 from repro.core.program import Program

@@ -7,9 +7,7 @@ exchanges frontier data with up to 26 neighbors: 6 *faces* (O(s²) bytes),
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Iterator
 
 
 @dataclass(frozen=True, slots=True)

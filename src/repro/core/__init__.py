@@ -6,7 +6,7 @@ optimizations (a)/(b)/(c), the persistent task sub-graph (p), and task
 throttling.
 """
 
-from repro.core.task import Task, TaskState, DepMode, Dep
+from repro.core.task import AccessMode, Task, TaskState, DepMode, Dep
 from repro.core.program import (
     CommKind,
     CommSpec,
@@ -22,6 +22,7 @@ from repro.core.persistent import PersistentRegion, PersistentStructureError
 from repro.core.throttling import ThrottleConfig
 
 __all__ = [
+    "AccessMode",
     "Task",
     "TaskState",
     "DepMode",

@@ -28,7 +28,6 @@ INOUTSET    like OUT versus earlier accesses, but mutually
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.core.graph import TaskGraph
 from repro.core.optimizations import OptimizationSet

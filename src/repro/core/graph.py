@@ -9,8 +9,8 @@ nodes inserted by optimization (c).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Optional
+from dataclasses import dataclass
+from typing import Iterator
 
 from repro.core.task import Task, TaskState
 

@@ -13,7 +13,6 @@ also removes inter-iteration edges (the resolver is reset at the barrier).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
 
 from repro.core.graph import TaskGraph
 from repro.core.program import IterationSpec, TaskSpec

@@ -18,7 +18,13 @@ import enum
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional, Sequence
 
-from repro.core.task import Dep, DepMode, FootprintChunk
+from repro.core.task import (
+    Dep,
+    DepMode,
+    FootprintAccess,
+    FootprintChunk,
+    split_footprint,
+)
 
 
 class CommKind(enum.IntEnum):
@@ -63,7 +69,9 @@ class TaskSpec:
     name: str
     depends: tuple[Dep, ...] = ()
     flops: float = 0.0
-    footprint: tuple[FootprintChunk, ...] = ()
+    #: Memory traffic entries, either bare ``(chunk, bytes)`` or annotated
+    #: ``(chunk, bytes, AccessMode)`` — see :func:`repro.core.task.split_footprint`.
+    footprint: tuple[FootprintChunk | FootprintAccess, ...] = ()
     fp_bytes: int = 64
     comm: Optional[CommSpec] = None
     body: Optional[Callable[[], None]] = None
@@ -89,6 +97,17 @@ class TaskSpec:
             raise ValueError(f"fp_bytes must be >= 0, got {self.fp_bytes}")
         if self.barrier and (self.depends or self.comm is not None):
             raise ValueError("a taskwait marker cannot carry depends or comm")
+
+    def accesses(self) -> tuple[FootprintAccess, ...]:
+        """The footprint normalized to ``(chunk, bytes, AccessMode)`` triples.
+
+        Unannotated entries are treated as read-modify-write, the
+        conservative assumption for the static race detector.
+        """
+        chunks, modes = split_footprint(self.footprint)
+        return tuple(
+            (cid, nbytes, mode) for (cid, nbytes), mode in zip(chunks, modes)
+        )
 
 
 @dataclass(slots=True)
@@ -257,7 +276,7 @@ class ProgramBuilder:
         inout: Sequence[object] = (),
         inoutset: Sequence[object] = (),
         flops: float = 0.0,
-        footprint: Sequence[FootprintChunk] = (),
+        footprint: Sequence[FootprintChunk | FootprintAccess] = (),
         fp_bytes: int = 64,
         comm: Optional[CommSpec] = None,
         body: Optional[Callable[[], None]] = None,
@@ -279,6 +298,18 @@ class ProgramBuilder:
             deps.append((self.addr(key), DepMode.INOUT))
         for key in inoutset:
             deps.append((self.addr(key), DepMode.INOUTSET))
+        # A duplicate (addr, mode) pair never adds a constraint but inflates
+        # discovery cost (one c_dep hash per item, plus edges when opt (b)
+        # is off) — reject it at submission, like the verify linter would.
+        seen: set[Dep] = set()
+        for d in deps:
+            if d in seen:
+                raise ValueError(
+                    f"task {name!r}: duplicate depend item "
+                    f"(addr={d[0]}, mode={d[1].name}) — each storage "
+                    "location may appear once per mode in a clause list"
+                )
+            seen.add(d)
         spec = TaskSpec(
             name=name,
             depends=tuple(deps),
@@ -289,6 +320,16 @@ class ProgramBuilder:
             body=body,
             loop_id=self.loop(loop) if loop is not None else -1,
         )
+        self._current.tasks.append(spec)
+        return spec
+
+    def taskwait(self) -> TaskSpec:
+        """Submit a ``#pragma omp taskwait`` marker."""
+        if self._current is None:
+            raise RuntimeError(
+                "taskwait() must be called inside an iteration() context"
+            )
+        spec = TaskSpec(name="taskwait", barrier=True)
         self._current.tasks.append(spec)
         return spec
 

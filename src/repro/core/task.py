@@ -31,6 +31,24 @@ class DepMode(enum.IntEnum):
     INOUTSET = 3
 
 
+class AccessMode(enum.IntEnum):
+    """How a task's body touches one footprint chunk.
+
+    The cache model only needs bytes; the static race detector
+    (:mod:`repro.verify`) additionally needs to know whether the traffic is
+    a load, a store, or a read-modify-write.  Unannotated footprint entries
+    default to :attr:`READWRITE` — the conservative choice for analysis.
+    """
+
+    READ = 0
+    WRITE = 1
+    READWRITE = 2
+
+    @property
+    def writes(self) -> bool:
+        return self != AccessMode.READ
+
+
 class TaskState(enum.IntEnum):
     """Lifecycle of a task inside the simulated runtime."""
 
@@ -51,6 +69,33 @@ Dep = Tuple[int, DepMode]
 #: One footprint entry for the cache model: (chunk id, bytes touched).
 FootprintChunk = Tuple[int, int]
 
+#: An access-annotated footprint entry: (chunk id, bytes, access mode).
+FootprintAccess = Tuple[int, int, AccessMode]
+
+
+def split_footprint(
+    footprint: Sequence[FootprintChunk | FootprintAccess],
+) -> tuple[Tuple[FootprintChunk, ...], Tuple[AccessMode, ...]]:
+    """Normalize a footprint into (2-tuple chunks, aligned access modes).
+
+    Accepts a mix of bare ``(chunk, bytes)`` entries and annotated
+    ``(chunk, bytes, mode)`` entries; bare entries default to
+    :attr:`AccessMode.READWRITE`.  The 2-tuple view feeds the memory
+    hierarchy unchanged; the mode tuple feeds the static analyses.
+    """
+    chunks: list[FootprintChunk] = []
+    modes: list[AccessMode] = []
+    for entry in footprint:
+        if len(entry) == 2:
+            cid, nbytes = entry  # type: ignore[misc]
+            mode = AccessMode.READWRITE
+        else:
+            cid, nbytes, mode = entry  # type: ignore[misc]
+            mode = AccessMode(mode)
+        chunks.append((cid, nbytes))
+        modes.append(mode)
+    return tuple(chunks), tuple(modes)
+
 
 class Task:
     """A runtime task instance.
@@ -66,6 +111,7 @@ class Task:
         "iteration",
         "flops",
         "footprint",
+        "fp_modes",
         "fp_bytes",
         "comm",
         "body",
@@ -95,7 +141,7 @@ class Task:
         loop_id: int = -1,
         iteration: int = 0,
         flops: float = 0.0,
-        footprint: Sequence[FootprintChunk] = (),
+        footprint: Sequence[FootprintChunk | FootprintAccess] = (),
         fp_bytes: int = 0,
         comm: Optional["CommSpec"] = None,
         body: Optional[Callable[[], None]] = None,
@@ -106,7 +152,7 @@ class Task:
         self.loop_id = loop_id
         self.iteration = iteration
         self.flops = flops
-        self.footprint = tuple(footprint)
+        self.footprint, self.fp_modes = split_footprint(footprint)
         self.fp_bytes = fp_bytes
         self.comm = comm
         self.body = body

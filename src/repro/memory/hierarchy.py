@@ -122,7 +122,7 @@ class MemoryHierarchy:
         eff_dram_bw = m.dram_bw / max(1, dram_sharers)
         time = 0.0
         bytes_dram = 0
-        for chunk, nbytes in footprint:
+        for chunk, nbytes, *_ in footprint:
             if nbytes <= 0:
                 continue
             lines = self._lines(nbytes)
@@ -192,7 +192,7 @@ class MemoryHierarchy:
         ctr = self.counters
         l3 = self._l3
         time = 0.0
-        for chunk, nbytes in footprint:
+        for chunk, nbytes, *_ in footprint:
             if nbytes <= 0:
                 continue
             lines = self._lines(nbytes)

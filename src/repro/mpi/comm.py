@@ -21,7 +21,6 @@ the paper's applications use them:
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from typing import Callable, Optional
 
 from repro.core.program import CommKind
 from repro.mpi.network import NetworkSpec

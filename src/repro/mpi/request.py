@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import enum
-from typing import Callable, Optional
+from typing import Callable
 
 from repro.core.program import CommKind
 

@@ -8,8 +8,7 @@ keeps per-event cost low and post-mortem analysis vectorized.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -17,7 +17,6 @@ from __future__ import annotations
 from collections import deque
 from typing import Optional
 
-import numpy as np
 
 from repro.core.task import Task
 from repro.util.rng import make_rng

@@ -1,0 +1,169 @@
+"""Static verification of task programs — no DES run required.
+
+The passes analyse a :class:`~repro.core.program.Program` by statically
+discovering its TDG through the production dependence resolver
+(:mod:`repro.verify.static_graph`) and walking the declared footprints and
+``depend`` clauses:
+
+- **races** — unordered conflicting footprint accesses (``V-RACE``);
+- **lint** — discovery-cost anti-patterns in depend clauses
+  (``V-DUP-DEP``, ``V-ADDR-MERGE``, ``V-IOSET-FANIN``, ``V-WAW-DEAD``);
+- **persistence** — soundness of the persistent task sub-graph, opt (p)
+  (``V-PTSG-UNSAFE``, ``V-PTSG-MISSED``);
+- **estimator** — exact edge counts plus discovery/execution time
+  prediction and the Fig. 1 discovery-bound warning (``V-DISC-BOUND``).
+
+Entry point: :func:`verify_program`; CLI: ``python -m repro lint``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.optimizations import OptimizationSet
+from repro.core.program import Program
+from repro.memory.machine import MachineSpec, skylake_8168
+from repro.runtime.costs import DiscoveryCosts
+from repro.verify.estimator import (
+    DiscoveryEstimate,
+    check_discovery_bound,
+    estimate_discovery,
+)
+from repro.verify.findings import Finding, Report, Severity
+from repro.verify.lint import (
+    lint_duplicate_deps,
+    lint_inoutset_fanin,
+    lint_redundant_addresses,
+    lint_waw_no_reader,
+)
+from repro.verify.persistence import check_persistence
+from repro.verify.races import find_races
+from repro.verify.report import render_json, render_text
+from repro.verify.static_graph import StaticNode, StaticTDG, discover_static
+
+__all__ = [
+    "RULES",
+    "DiscoveryEstimate",
+    "Finding",
+    "Report",
+    "Severity",
+    "StaticNode",
+    "StaticTDG",
+    "check_discovery_bound",
+    "check_persistence",
+    "discover_static",
+    "estimate_discovery",
+    "find_races",
+    "render_json",
+    "render_text",
+    "verify_program",
+]
+
+#: Registry of every rule the verifier can emit (id -> one-line description).
+RULES: dict[str, str] = {
+    "V-RACE": (
+        "unordered conflicting footprint accesses — a depend clause is "
+        "missing or names the wrong address [error]"
+    ),
+    "V-DUP-DEP": (
+        "duplicate (addr, mode) item in one depend clause list [warning]"
+    ),
+    "V-ADDR-MERGE": (
+        "addresses always accessed together with identical modes — "
+        "merge them (user-side optimization (a)) [warning]"
+    ),
+    "V-IOSET-FANIN": (
+        "m inoutset writers feeding n readers without optimization (c): "
+        "m*n edges where a redirect node needs m+n [warning]"
+    ),
+    "V-WAW-DEAD": (
+        "an out write overwrites a previous write with no reader in "
+        "between [warning]"
+    ),
+    "V-PTSG-UNSAFE": (
+        "persistent_candidate program whose iteration structure diverges "
+        "from the template [error]"
+    ),
+    "V-PTSG-MISSED": (
+        "iteration structure provably invariant but persistence (opt p) "
+        "not enabled [info]"
+    ),
+    "V-DISC-BOUND": (
+        "predicted discovery time exceeds the execution estimate — the "
+        "run is discovery bound (Fig. 1) [warning]"
+    ),
+}
+
+#: Pass names accepted by :func:`verify_program`'s ``passes`` argument.
+PASSES: tuple[str, ...] = ("races", "lint", "persistence", "estimator")
+
+
+def verify_program(
+    program: Program,
+    opts: OptimizationSet | str = "abcp",
+    *,
+    machine: Optional[MachineSpec] = None,
+    threads: Optional[int] = None,
+    costs: Optional[DiscoveryCosts] = None,
+    passes: Optional[Sequence[str]] = None,
+) -> Report:
+    """Run the static verification passes over ``program``.
+
+    ``passes`` selects a subset of :data:`PASSES` (default: all).  The
+    estimator's numbers land in :attr:`Report.summary` whether or not it
+    emits a finding.
+    """
+    if isinstance(opts, str):
+        opts = OptimizationSet.parse(opts)
+    if machine is None:
+        machine = skylake_8168()
+    if costs is None:
+        costs = DiscoveryCosts()
+    selected = tuple(passes) if passes is not None else PASSES
+    unknown = [p for p in selected if p not in PASSES]
+    if unknown:
+        raise ValueError(f"unknown verify passes {unknown}; pick from {PASSES}")
+
+    report = Report(program=program.name, passes=list(selected))
+    tdg = discover_static(program, opts, costs=costs)
+
+    if "races" in selected:
+        report.extend(find_races(tdg))
+    if "lint" in selected:
+        report.extend(lint_duplicate_deps(program))
+        report.extend(lint_redundant_addresses(program))
+        report.extend(lint_inoutset_fanin(program, opts))
+        report.extend(lint_waw_no_reader(program))
+    if "persistence" in selected:
+        report.extend(check_persistence(program, opts, costs=costs))
+    if "estimator" in selected:
+        estimate, tdg = estimate_discovery(
+            program, opts, machine, threads=threads, costs=costs, tdg=tdg
+        )
+        report.extend(check_discovery_bound(estimate))
+        report.summary.update(
+            {
+                "n_tasks": estimate.n_tasks,
+                "n_stubs": estimate.n_stubs,
+                "edges_created": estimate.edges_created,
+                "persistent": estimate.persistent,
+                "discovery_total": estimate.discovery_total,
+                "first_iteration_cost": estimate.first_iteration_cost,
+                "steady_iteration_cost": estimate.steady_iteration_cost,
+                "exec_estimate": estimate.exec_estimate,
+                "threads": estimate.threads,
+                "t1": estimate.t1,
+                "t_inf": estimate.t_inf,
+                "avg_parallelism": estimate.avg_parallelism,
+            }
+        )
+    else:
+        report.summary.update(
+            {
+                "n_tasks": tdg.n_user_tasks,
+                "n_stubs": tdg.n_stubs,
+                "edges_created": tdg.n_edges,
+                "persistent": tdg.persistent,
+            }
+        )
+    return report

@@ -1,0 +1,199 @@
+"""Discovery-cost prediction from the static TDG (rule ``V-DISC-BOUND``).
+
+The paper's Fig. 1 shows the failure mode this pass predicts: as tasks per
+loop (TPL) grow, single-producer discovery time grows with the task and
+edge counts while per-task execution shrinks, until the run is *discovery
+bound* — workers starve behind the producer.  The estimator replays the
+program through :func:`~repro.verify.static_graph.discover_static` and
+charges the same :class:`~repro.runtime.costs.DiscoveryCosts` the DES
+charges, so the predicted edge counts are exact (no task completes during
+static discovery, hence no pruning — the counts equal a persistent-mode or
+non-overlapped DES run).  Execution is estimated from the graph shape
+(:func:`~repro.analysis.graphtools.analyze_shape`) as Brent's bound
+``max(T1 / threads, Tinf)``, with per-task weight
+``flops / flops_per_core + fp_bytes / dram_bw``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.analysis.graphtools import analyze_shape
+from repro.core.optimizations import OptimizationSet
+from repro.core.program import Program
+from repro.core.task import Task
+from repro.memory.machine import MachineSpec
+from repro.runtime.costs import DiscoveryCosts
+from repro.verify.findings import Finding, Severity
+from repro.verify.static_graph import StaticTDG, discover_static
+
+
+@dataclass(frozen=True)
+class DiscoveryEstimate:
+    """Predicted discovery and execution behaviour of one program."""
+
+    program: str
+    opts: str
+    persistent: bool
+    threads: int
+    #: Graph size (stubs are opt-(c) redirect nodes, not user tasks).
+    n_tasks: int
+    n_stubs: int
+    #: Edge counters exactly as a DES run would report them.
+    edges_created: int
+    edges_duplicates_skipped: int
+    edges_duplicates_created: int
+    redirect_nodes: int
+    #: Producer busy seconds: first (template) iteration, steady-state
+    #: iteration, and the whole program.
+    first_iteration_cost: float
+    steady_iteration_cost: float
+    discovery_total: float
+    #: Shape of the discovered graph (weights in estimated seconds).
+    t1: float
+    t_inf: float
+    depth: int
+    avg_parallelism: float
+    #: Brent's-bound execution estimate for the whole program.
+    exec_estimate: float
+    #: Fig. 1 condition: predicted discovery >= predicted execution.
+    discovery_bound: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "program": self.program,
+            "opts": self.opts,
+            "persistent": self.persistent,
+            "threads": self.threads,
+            "n_tasks": self.n_tasks,
+            "n_stubs": self.n_stubs,
+            "edges": {
+                "created": self.edges_created,
+                "duplicates_skipped": self.edges_duplicates_skipped,
+                "duplicates_created": self.edges_duplicates_created,
+                "redirect_nodes": self.redirect_nodes,
+            },
+            "discovery": {
+                "first_iteration": self.first_iteration_cost,
+                "steady_iteration": self.steady_iteration_cost,
+                "total": self.discovery_total,
+            },
+            "shape": {
+                "t1": self.t1,
+                "t_inf": self.t_inf,
+                "depth": self.depth,
+                "avg_parallelism": self.avg_parallelism,
+            },
+            "exec_estimate": self.exec_estimate,
+            "discovery_bound": self.discovery_bound,
+        }
+
+
+def _task_seconds(machine: MachineSpec) -> Callable[[Task], float]:
+    def weight(task: Task) -> float:
+        if task.is_stub:
+            return 0.0
+        return (
+            task.flops / machine.flops_per_core
+            + task.fp_bytes / machine.dram_bw
+        )
+
+    return weight
+
+
+def estimate_discovery(
+    program: Program,
+    opts: OptimizationSet,
+    machine: MachineSpec,
+    *,
+    threads: Optional[int] = None,
+    costs: Optional[DiscoveryCosts] = None,
+    tdg: Optional[StaticTDG] = None,
+) -> tuple[DiscoveryEstimate, StaticTDG]:
+    """Predict discovery and execution behaviour without running the DES.
+
+    Pass an existing ``tdg`` (built *with* the same ``costs``) to avoid a
+    second static walk; otherwise one is discovered here.
+    """
+    if costs is None:
+        costs = DiscoveryCosts()
+    if threads is None:
+        threads = machine.n_cores
+    if tdg is None or not tdg.iteration_costs:
+        tdg = discover_static(program, opts, costs=costs)
+
+    it_costs = tdg.iteration_costs
+    first = it_costs[0] if it_costs else 0.0
+    steady = it_costs[-1] if len(it_costs) > 1 else first
+    total = sum(it_costs)
+
+    shape = analyze_shape(tdg.graph, weight=_task_seconds(machine))
+    per_graph_exec = max(
+        shape.total_weight / max(threads, 1), shape.critical_path_weight
+    )
+    if tdg.persistent:
+        # The static graph holds one template iteration; the implicit
+        # barrier makes whole-program execution n_iterations times it.
+        exec_estimate = per_graph_exec * program.n_iterations
+    else:
+        exec_estimate = per_graph_exec
+
+    stats = tdg.graph.stats
+    return (
+        DiscoveryEstimate(
+            program=program.name,
+            opts=str(opts),
+            persistent=tdg.persistent,
+            threads=threads,
+            n_tasks=tdg.n_user_tasks,
+            n_stubs=tdg.n_stubs,
+            edges_created=stats.created,
+            edges_duplicates_skipped=stats.duplicates_skipped,
+            edges_duplicates_created=stats.duplicates_created,
+            redirect_nodes=stats.redirect_nodes,
+            first_iteration_cost=first,
+            steady_iteration_cost=steady,
+            discovery_total=total,
+            t1=shape.total_weight,
+            t_inf=shape.critical_path_weight,
+            depth=shape.depth,
+            avg_parallelism=shape.avg_parallelism,
+            exec_estimate=exec_estimate,
+            discovery_bound=total >= exec_estimate,
+        ),
+        tdg,
+    )
+
+
+def check_discovery_bound(estimate: DiscoveryEstimate) -> list[Finding]:
+    """``V-DISC-BOUND``: the single producer cannot keep workers fed."""
+    if not estimate.discovery_bound:
+        return []
+    ratio = (
+        estimate.discovery_total / estimate.exec_estimate
+        if estimate.exec_estimate > 0
+        else float("inf")
+    )
+    return [
+        Finding(
+            rule="V-DISC-BOUND",
+            severity=Severity.WARNING,
+            message=(
+                f"predicted discovery time ({estimate.discovery_total:.3e} s) "
+                f"exceeds the execution estimate "
+                f"({estimate.exec_estimate:.3e} s) at {estimate.threads} "
+                "threads — the run is discovery bound (Fig. 1 regime)"
+            ),
+            hint=(
+                "coarsen the tasks (lower TPL), enable more discovery "
+                "optimizations (a/b/c), or make the graph persistent (p)"
+            ),
+            data={
+                "discovery_total": estimate.discovery_total,
+                "exec_estimate": estimate.exec_estimate,
+                "ratio": ratio,
+                "threads": estimate.threads,
+            },
+        )
+    ]

@@ -1,0 +1,131 @@
+"""Structured findings emitted by the static verification passes.
+
+Every rule reports :class:`Finding` records collected into a
+:class:`Report`; the CLI renders them as text or JSON and maps the worst
+severity onto its exit code (``--fail-on``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+
+class Severity(enum.IntEnum):
+    """Finding severity, ordered so comparisons express "at least"."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    @classmethod
+    def parse(cls, name: str) -> "Severity":
+        try:
+            return cls[name.strip().upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {name!r}; pick from "
+                f"{[s.name.lower() for s in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One defect (or opportunity) located in a task program.
+
+    Attributes
+    ----------
+    rule:
+        Stable rule identifier (e.g. ``"V-RACE"``) — documented in
+        :data:`repro.verify.RULES`.
+    severity:
+        :class:`Severity` of the finding.
+    message:
+        Human-readable, single-sentence statement of the defect.
+    tasks:
+        Names of the task specs involved (writers first for races).
+    iteration:
+        Outer-loop iteration the finding anchors to, ``-1`` if program-wide.
+    hint:
+        Suggested fix, phrased as an action.
+    data:
+        Rule-specific numbers (edge counts, predicted costs...) — JSON-safe.
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    tasks: tuple[str, ...] = ()
+    iteration: int = -1
+    hint: str = ""
+    data: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.name.lower(),
+            "message": self.message,
+            "tasks": list(self.tasks),
+            "iteration": self.iteration,
+            "hint": self.hint,
+            "data": self.data,
+        }
+
+
+@dataclass
+class Report:
+    """All findings of one verification run over one program."""
+
+    program: str
+    findings: list[Finding] = field(default_factory=list)
+    #: Passes that actually ran (rule families), for reporting.
+    passes: list[str] = field(default_factory=list)
+    #: Free-form summary numbers (from the cost estimator).
+    summary: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def __iter__(self) -> Iterator[Finding]:
+        return iter(self.findings)
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    # ------------------------------------------------------------------
+    def count(self, severity: Severity) -> int:
+        return sum(1 for f in self.findings if f.severity == severity)
+
+    def at_least(self, severity: Severity) -> list[Finding]:
+        return [f for f in self.findings if f.severity >= severity]
+
+    def by_rule(self, rule: str) -> list[Finding]:
+        return [f for f in self.findings if f.rule == rule]
+
+    @property
+    def worst(self) -> Optional[Severity]:
+        if not self.findings:
+            return None
+        return max(f.severity for f in self.findings)
+
+    def sorted(self) -> list[Finding]:
+        """Findings ordered worst-first, then by rule id."""
+        return sorted(
+            self.findings, key=lambda f: (-int(f.severity), f.rule, f.message)
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "program": self.program,
+            "passes": list(self.passes),
+            "counts": {
+                s.name.lower(): self.count(s) for s in Severity
+            },
+            "summary": self.summary,
+            "findings": [f.to_dict() for f in self.sorted()],
+        }

@@ -1,0 +1,213 @@
+"""Static TDG discovery: resolve a program's dependences without the DES.
+
+The verification passes need the *graph* the runtime would discover — but
+not the timing of its execution.  This module walks a
+:class:`~repro.core.program.Program` through the production
+:class:`~repro.core.dependences.DependenceResolver` exactly as the producer
+thread would, with no task ever executing:
+
+- with optimization (p) active on a persistent candidate, only the template
+  iteration is resolved and every later iteration is a replay (the implicit
+  barrier resets the resolver) — matching the runtime's persistent mode;
+- otherwise every iteration is resolved against the same address map, so
+  inter-iteration edges appear exactly as in a non-persistent run.
+
+Because no task completes during static discovery, no edge is ever pruned:
+the resulting :class:`~repro.core.graph.EdgeStats` match a DES run in
+non-overlapped mode, and match a persistent-mode DES run exactly (persistent
+graphs never prune).  That is what makes the discovery-cost *prediction* of
+:mod:`repro.verify.estimator` exact rather than approximate.
+
+The builder also assigns every task a *barrier segment*: ``taskwait``
+markers and persistent-iteration boundaries increment it.  Segments give the
+race detector its coarse happens-before relation (everything in segment *s*
+completes before anything in segment *t > s* starts); within a segment,
+ordering is graph reachability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.dependences import DependenceResolver
+from repro.core.graph import TaskGraph
+from repro.core.optimizations import OptimizationSet
+from repro.core.program import Program, TaskSpec
+from repro.core.task import Task
+from repro.runtime.costs import DiscoveryCosts
+
+
+@dataclass(frozen=True)
+class StaticNode:
+    """One task of the statically discovered TDG."""
+
+    #: Dense index into :attr:`StaticTDG.nodes` (bit position for closures).
+    index: int
+    task: Task
+    #: The originating spec; ``None`` for redirect stubs.
+    spec: Optional[TaskSpec]
+    iteration: int
+    #: Barrier epoch (taskwait / persistent-iteration boundary counter).
+    segment: int
+
+    @property
+    def name(self) -> str:
+        return self.task.name
+
+
+@dataclass
+class StaticTDG:
+    """A statically discovered task dependency graph."""
+
+    program: Program
+    opts: OptimizationSet
+    #: Whether the walk ran in persistent (template + replay) mode.
+    persistent: bool
+    graph: TaskGraph
+    nodes: list[StaticNode]
+    #: Predicted producer busy seconds per iteration (empty without costs).
+    iteration_costs: list[float]
+    _by_tid: dict[int, StaticNode] = field(default_factory=dict, repr=False)
+    _ancestors: Optional[list[int]] = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_user_tasks(self) -> int:
+        return sum(1 for n in self.nodes if n.spec is not None)
+
+    @property
+    def n_stubs(self) -> int:
+        return sum(1 for n in self.nodes if n.spec is None)
+
+    @property
+    def n_edges(self) -> int:
+        return self.graph.stats.created
+
+    def node_of(self, task: Task) -> StaticNode:
+        return self._by_tid[task.tid]
+
+    def unique_edges(self) -> set[tuple[int, int]]:
+        """Distinct ``(pred index, succ index)`` pairs (multiplicity folded)."""
+        by = self._by_tid
+        return {
+            (by[p.tid].index, by[s.tid].index) for p, s in self.graph.iter_edges()
+        }
+
+    # ------------------------------------------------------------------
+    def ancestors(self) -> list[int]:
+        """Per-node ancestor sets as bitmasks over node indices.
+
+        ``ancestors()[i] >> j & 1`` says node *j* is a (transitive) graph
+        predecessor of node *i*.  Computed once over a Kahn topological
+        order (creation order is *not* topological: redirect stubs receive
+        edges towards earlier-created tasks).
+        """
+        if self._ancestors is not None:
+            return self._ancestors
+        n = len(self.nodes)
+        succs: list[list[int]] = [[] for _ in range(n)]
+        indeg = [0] * n
+        for p, s in self.unique_edges():
+            succs[p].append(s)
+            indeg[s] += 1
+        anc = [0] * n
+        stack = [i for i in range(n) if indeg[i] == 0]
+        seen = 0
+        while stack:
+            i = stack.pop()
+            seen += 1
+            mask = anc[i] | (1 << i)
+            for j in succs[i]:
+                anc[j] |= mask
+                indeg[j] -= 1
+                if indeg[j] == 0:
+                    stack.append(j)
+        if seen != n:  # pragma: no cover - resolver guarantees a DAG
+            raise ValueError("static TDG contains a cycle")
+        self._ancestors = anc
+        return anc
+
+    def happens_before(self, a: StaticNode, b: StaticNode) -> bool:
+        """Whether ``a`` is guaranteed to complete before ``b`` starts."""
+        if a.segment != b.segment:
+            return a.segment < b.segment
+        return bool(self.ancestors()[b.index] >> a.index & 1)
+
+    def ordered(self, a: StaticNode, b: StaticNode) -> bool:
+        """Whether ``a`` and ``b`` are ordered either way."""
+        return self.happens_before(a, b) or self.happens_before(b, a)
+
+
+def discover_static(
+    program: Program,
+    opts: OptimizationSet,
+    *,
+    costs: Optional[DiscoveryCosts] = None,
+) -> StaticTDG:
+    """Statically discover ``program``'s TDG under ``opts``.
+
+    ``costs`` enables the per-iteration discovery-time prediction (the same
+    :class:`~repro.runtime.costs.DiscoveryCosts` the runtime charges).
+    """
+    persistent = opts.p and program.persistent_candidate
+    graph = TaskGraph(persistent=persistent)
+    resolver = DependenceResolver(graph, opts)
+    nodes: list[StaticNode] = []
+    by_tid: dict[int, StaticNode] = {}
+    iteration_costs: list[float] = []
+    segment = 0
+
+    def register(task: Task, spec: Optional[TaskSpec], it_index: int) -> None:
+        node = StaticNode(
+            index=len(nodes), task=task, spec=spec,
+            iteration=it_index, segment=segment,
+        )
+        nodes.append(node)
+        by_tid[task.tid] = node
+
+    for it in program.iterations:
+        it_cost = 0.0
+        if persistent and it.index > 0:
+            # Replay: no resolution, only firstprivate copies.
+            if costs is not None:
+                it_cost = sum(
+                    costs.replay_cost(spec) for spec in it.tasks if not spec.barrier
+                )
+            iteration_costs.append(it_cost)
+            segment += 1  # the implicit end-of-iteration barrier
+            continue
+        for spec in it.tasks:
+            if spec.barrier:
+                segment += 1
+                continue
+            task = graph.new_task(
+                name=spec.name,
+                loop_id=spec.loop_id,
+                iteration=it.index,
+                flops=spec.flops,
+                footprint=spec.footprint,
+                fp_bytes=spec.fp_bytes,
+                comm=spec.comm,
+            )
+            register(task, spec, it.index)
+            res = resolver.resolve(task, spec.depends)
+            task.npred_initial = task.npred + task.presat
+            for stub in res.redirect_tasks:
+                register(stub, None, it.index)
+            if costs is not None:
+                it_cost += costs.creation_cost(spec, res)
+        iteration_costs.append(it_cost)
+        if persistent:
+            resolver.reset()
+            segment += 1
+
+    return StaticTDG(
+        program=program,
+        opts=opts,
+        persistent=persistent,
+        graph=graph,
+        nodes=nodes,
+        iteration_costs=iteration_costs if costs is not None else [],
+        _by_tid=by_tid,
+    )

@@ -1,6 +1,5 @@
 """Tests for the cluster-run helpers (Fig 7/9 plumbing)."""
 
-import pytest
 
 from repro.analysis.calibration import scaled_mpc, scaled_network, scaled_skylake
 from repro.analysis.distributed import run_hpcg_cluster, run_lulesh_cluster

@@ -1,6 +1,5 @@
 """Tests for the discovery-cost fitting utility."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.fit import (

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.analysis.metg import metg
-from repro.analysis.sweep import Sweep, SweepPoint, geometric_tpls, run_sweep
+from repro.analysis.sweep import Sweep, geometric_tpls, run_sweep
 from repro.apps.lulesh import LuleshConfig, build_task_program
 from repro.analysis.calibration import scaled_mpc, scaled_skylake
 

@@ -139,7 +139,7 @@ class TestTaskProgram:
         def max_chunk(cfg):
             prog = build_task_program(cfg)
             return max(
-                (b for s in prog.iterations[0].tasks for _, b in s.footprint),
+                (b for s in prog.iterations[0].tasks for _, b, *_ in s.footprint),
                 default=0,
             )
         assert max_chunk(c_fine) < max_chunk(c_coarse)

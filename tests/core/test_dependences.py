@@ -1,6 +1,5 @@
 """Semantic tests of the dependence resolver — the heart of TDG discovery."""
 
-import pytest
 
 from repro.core.dependences import DependenceResolver
 from repro.core.graph import TaskGraph

@@ -2,14 +2,7 @@
 
 import pytest
 
-from repro.core.program import (
-    CommKind,
-    CommSpec,
-    IterationSpec,
-    Program,
-    ProgramBuilder,
-    TaskSpec,
-)
+from repro.core.program import CommKind, CommSpec, Program, ProgramBuilder, TaskSpec
 from repro.core.task import DepMode
 
 
@@ -152,3 +145,79 @@ class TestProgram:
     def test_type_checked_iterations(self):
         with pytest.raises(TypeError):
             Program([("not", "an", "iteration")])
+
+
+class TestDuplicateDependGuard:
+    def test_duplicate_same_clause_rejected(self):
+        b = ProgramBuilder("p")
+        with b.iteration():
+            with pytest.raises(ValueError, match="duplicate depend item"):
+                b.task("t", inp=["x", "x"])
+
+    def test_failing_task_not_submitted(self):
+        b = ProgramBuilder("p")
+        with b.iteration():
+            b.task("ok", out=["x"])
+            with pytest.raises(ValueError, match="duplicate depend item"):
+                b.task("t", inout=["y", "y"])
+        prog = b.build()
+        assert prog.n_tasks == 1
+
+    def test_same_addr_different_modes_allowed(self):
+        b = ProgramBuilder("p")
+        with b.iteration():
+            spec = b.task("t", inp=["x"], out=["x"])
+        assert len(spec.depends) == 2
+
+    def test_taskloop_duplicates_rejected(self):
+        b = ProgramBuilder("p")
+        with b.iteration():
+            with pytest.raises(ValueError, match="duplicate depend item"):
+                b.taskloop("l", 2, dep_fn=lambda i: {"inp": ["x", "x"]})
+
+
+class TestTaskwait:
+    def test_taskwait_marker(self):
+        b = ProgramBuilder("p")
+        with b.iteration():
+            b.task("a")
+            spec = b.taskwait()
+            b.task("b")
+        assert spec.barrier
+        prog = b.build()
+        assert [s.name for s in prog.iterations[0].tasks] == ["a", "taskwait", "b"]
+
+    def test_taskwait_outside_iteration_rejected(self):
+        b = ProgramBuilder("p")
+        with pytest.raises(RuntimeError, match="iteration"):
+            b.taskwait()
+
+
+class TestInoutsetEdgeAccounting:
+    """Program-level m*n vs m+n accounting for optimization (c) (Fig. 4)."""
+
+    def build(self, m=4, n=6):
+        b = ProgramBuilder("fanin")
+        with b.iteration():
+            for i in range(m):
+                b.task(f"w{i}", inoutset=["force"])
+            for i in range(n):
+                b.task(f"r{i}", inp=["force"])
+        return b.build()
+
+    def discover(self, opts, m, n):
+        from repro.core.optimizations import OptimizationSet
+        from repro.verify.static_graph import discover_static
+
+        return discover_static(self.build(m, n), OptimizationSet.parse(opts))
+
+    def test_m_times_n_without_c(self):
+        tdg = self.discover("ab", m=4, n=6)
+        assert tdg.graph.stats.created == 4 * 6
+        assert tdg.graph.stats.redirect_nodes == 0
+
+    def test_m_plus_n_with_c(self):
+        tdg = self.discover("abc", m=4, n=6)
+        assert tdg.graph.stats.created == 4 + 6
+        assert tdg.graph.stats.redirect_nodes == 1
+        assert tdg.n_stubs == 1

@@ -2,7 +2,6 @@
 
 import math
 
-import pytest
 
 from repro.core.task import DepMode, Task, TaskState
 

@@ -12,7 +12,6 @@ from repro.analysis.calibration import scaled_mpc, scaled_skylake
 from repro.analysis.sweep import run_sweep
 from repro.apps.lulesh import LuleshConfig, build_for_program, build_task_program
 from repro.cluster import Cluster, RankGrid
-from repro.core import OptimizationSet
 from repro.profiler import comm_metrics, gantt_of
 from repro.runtime import TaskRuntime
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.memory.hierarchy import MemCounters, MemoryHierarchy
-from repro.memory.machine import MachineSpec, tiny_test_machine
+from repro.memory.machine import tiny_test_machine
 from repro.util.units import KiB
 
 

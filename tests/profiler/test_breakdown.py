@@ -1,6 +1,5 @@
 """Unit tests for the §2.3.1 time breakdown."""
 
-import numpy as np
 import pytest
 
 from repro.core import ProgramBuilder

@@ -1,6 +1,5 @@
 """Unit tests for the ASCII Gantt chart."""
 
-import numpy as np
 
 from repro.profiler.gantt import gantt_of
 from repro.profiler.trace import TaskTrace

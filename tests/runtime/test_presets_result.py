@@ -1,10 +1,9 @@
 """Tests for runtime presets and RunResult derived metrics."""
 
-import numpy as np
 import pytest
 
 from repro.core import OptimizationSet, ProgramBuilder
-from repro.memory import skylake_8168, tiny_test_machine
+from repro.memory import tiny_test_machine
 from repro.runtime import RuntimeConfig, TaskRuntime, presets
 
 

@@ -4,10 +4,9 @@ import numpy as np
 import pytest
 
 from repro.core import OptimizationSet, ProgramBuilder, ThrottleConfig
-from repro.core.program import CommKind, CommSpec, Program, TaskSpec
+from repro.core.program import CommKind, CommSpec, Program
 from repro.memory import tiny_test_machine
 from repro.runtime import RuntimeConfig, TaskRuntime
-from repro.runtime.engine import EventQueue
 
 
 def cfg(**kw):

@@ -6,7 +6,6 @@ simulation deadlocks.  These tests pin that behavior for every waiting
 state.
 """
 
-import pytest
 
 from repro.core import OptimizationSet, ThrottleConfig
 from repro.core.program import CommKind, CommSpec, Program, TaskSpec

@@ -1,6 +1,5 @@
 """Tests for the taskwait marker (§4.1 ablation support)."""
 
-import numpy as np
 import pytest
 
 from repro.core import OptimizationSet

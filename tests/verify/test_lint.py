@@ -1,0 +1,136 @@
+"""Dependence linter: each rule firing on a seeded defect, silent otherwise."""
+
+from repro.core.optimizations import OptimizationSet
+from repro.core.program import IterationSpec, Program, ProgramBuilder, TaskSpec
+from repro.core.task import DepMode
+from repro.verify.lint import (
+    lint_duplicate_deps,
+    lint_inoutset_fanin,
+    lint_redundant_addresses,
+    lint_waw_no_reader,
+)
+
+
+class TestDuplicateDeps:
+    def test_fires_on_hand_built_spec(self):
+        # The builder rejects duplicates, so seed one via raw TaskSpec.
+        spec = TaskSpec(
+            name="dup", depends=((0, DepMode.IN), (0, DepMode.IN))
+        )
+        prog = Program([IterationSpec(index=0, tasks=[spec])])
+        findings = lint_duplicate_deps(prog)
+        assert len(findings) == 1
+        assert findings[0].rule == "V-DUP-DEP"
+        assert findings[0].tasks == ("dup",)
+
+    def test_same_addr_different_mode_ok(self):
+        spec = TaskSpec(
+            name="t", depends=((0, DepMode.IN), (0, DepMode.OUT))
+        )
+        prog = Program([IterationSpec(index=0, tasks=[spec])])
+        assert lint_duplicate_deps(prog) == []
+
+    def test_reported_once_across_iterations(self):
+        spec = TaskSpec(name="dup", depends=((0, DepMode.IN), (0, DepMode.IN)))
+        its = [IterationSpec(index=k, tasks=[spec]) for k in range(3)]
+        assert len(lint_duplicate_deps(Program(its))) == 1
+
+
+class TestRedundantAddresses:
+    def test_fires_on_fig3_pattern(self):
+        # x, y, z always accessed together with the same modes (Fig. 3).
+        b = ProgramBuilder("xyz")
+        with b.iteration():
+            b.task("init", out=["x", "y", "z"])
+            b.task("use", inp=["x", "y", "z"], out=["r"])
+        findings = lint_redundant_addresses(b.build())
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.rule == "V-ADDR-MERGE"
+        assert f.data["deps_saved"] == 4  # (3-1) addrs * 2 items each
+        assert "init" in f.tasks and "use" in f.tasks
+
+    def test_silent_when_accesses_differ(self):
+        b = ProgramBuilder("diff")
+        with b.iteration():
+            b.task("init", out=["x", "y"])
+            b.task("use_x", inp=["x"])
+            b.task("use_y", inp=["y"])
+        assert lint_redundant_addresses(b.build()) == []
+
+    def test_mode_mismatch_not_grouped(self):
+        b = ProgramBuilder("modes")
+        with b.iteration():
+            b.task("t0", out=["x"], inp=["y"])
+            b.task("t1", inp=["x"], out=["y"])
+        assert lint_redundant_addresses(b.build()) == []
+
+
+class TestInoutsetFanin:
+    def build(self, m=3, n=4):
+        b = ProgramBuilder("fanin")
+        with b.iteration():
+            for i in range(m):
+                b.task(f"w{i}", inoutset=["f"])
+            for i in range(n):
+                b.task(f"r{i}", inp=["f"])
+        return b.build()
+
+    def test_fires_without_opt_c(self):
+        findings = lint_inoutset_fanin(self.build(3, 4), OptimizationSet.parse("ab"))
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.rule == "V-IOSET-FANIN"
+        assert f.data["edges_naive"] == 12
+        assert f.data["edges_redirect"] == 7
+
+    def test_silent_with_opt_c(self):
+        assert (
+            lint_inoutset_fanin(self.build(3, 4), OptimizationSet.parse("abc"))
+            == []
+        )
+
+    def test_silent_for_single_writer_or_reader(self):
+        opts = OptimizationSet.parse("ab")
+        assert lint_inoutset_fanin(self.build(1, 4), opts) == []
+        assert lint_inoutset_fanin(self.build(3, 1), opts) == []
+
+
+class TestWawNoReader:
+    def test_fires_on_dead_write(self):
+        b = ProgramBuilder("waw")
+        with b.iteration():
+            b.task("w0", out=["x"])
+            b.task("w1", out=["x"])
+            b.task("r", inp=["x"])
+        findings = lint_waw_no_reader(b.build())
+        assert len(findings) == 1
+        assert findings[0].rule == "V-WAW-DEAD"
+        assert findings[0].tasks == ("w0", "w1")
+
+    def test_silent_with_reader_between(self):
+        b = ProgramBuilder("ok")
+        with b.iteration():
+            b.task("w0", out=["x"])
+            b.task("r", inp=["x"])
+            b.task("w1", out=["x"])
+        assert lint_waw_no_reader(b.build()) == []
+
+    def test_inout_overwrite_is_not_dead(self):
+        # inout reads its own input: the previous value is observed.
+        b = ProgramBuilder("inout")
+        with b.iteration():
+            b.task("w0", out=["x"])
+            b.task("acc", inout=["x"])
+        assert lint_waw_no_reader(b.build()) == []
+
+    def test_blocked_loop_aggregates_to_one_finding(self):
+        b = ProgramBuilder("blocked")
+        with b.iteration():
+            for blk in range(8):
+                b.task(f"w0[{blk}]", out=[("x", blk)])
+            for blk in range(8):
+                b.task(f"w1[{blk}]", out=[("x", blk)])
+        findings = lint_waw_no_reader(b.build())
+        assert len(findings) == 1
+        assert findings[0].data["n_addrs"] == 8

@@ -1,0 +1,127 @@
+"""Race detector: seeded footprint races and their legal orderings."""
+
+from repro.core.optimizations import OptimizationSet
+from repro.core.program import ProgramBuilder
+from repro.core.task import AccessMode
+from repro.verify.races import find_races
+from repro.verify.static_graph import discover_static
+
+CHUNK = 7
+
+
+def tdg_of(build, opts="ab"):
+    b = ProgramBuilder("race-test")
+    with b.iteration():
+        build(b)
+    return discover_static(b.build(), OptimizationSet.parse(opts))
+
+
+class TestRaces:
+    def test_unordered_writers_race(self):
+        def build(b):
+            # Footprints share a chunk; the depend clauses do not mention it.
+            b.task("w0", out=["a"], footprint=[(CHUNK, 64, AccessMode.WRITE)])
+            b.task("w1", out=["b"], footprint=[(CHUNK, 64, AccessMode.WRITE)])
+
+        findings = find_races(tdg_of(build))
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.rule == "V-RACE"
+        assert f.severity.name == "ERROR"
+        assert set(f.tasks) == {"w0", "w1"}
+        assert f.data["kind"] == "write/write"
+
+    def test_read_write_race(self):
+        def build(b):
+            b.task("w", out=["a"], footprint=[(CHUNK, 64, AccessMode.WRITE)])
+            b.task("r", out=["b"], footprint=[(CHUNK, 64, AccessMode.READ)])
+
+        findings = find_races(tdg_of(build))
+        assert len(findings) == 1
+        assert findings[0].data["kind"] == "read/write"
+        # Writer is listed first.
+        assert findings[0].tasks[0] == "w"
+
+    def test_read_read_is_not_a_race(self):
+        def build(b):
+            b.task("r0", out=["a"], footprint=[(CHUNK, 64, AccessMode.READ)])
+            b.task("r1", out=["b"], footprint=[(CHUNK, 64, AccessMode.READ)])
+
+        assert find_races(tdg_of(build)) == []
+
+    def test_dependence_edge_orders(self):
+        def build(b):
+            b.task("w0", out=["x"], footprint=[(CHUNK, 64, AccessMode.WRITE)])
+            b.task("w1", inp=["x"], footprint=[(CHUNK, 64, AccessMode.WRITE)])
+
+        assert find_races(tdg_of(build)) == []
+
+    def test_transitive_path_orders(self):
+        def build(b):
+            b.task("w0", out=["x"], footprint=[(CHUNK, 64, AccessMode.WRITE)])
+            b.task("mid", inp=["x"], out=["y"])
+            b.task("w1", inp=["y"], footprint=[(CHUNK, 64, AccessMode.WRITE)])
+
+        assert find_races(tdg_of(build)) == []
+
+    def test_taskwait_orders(self):
+        def build(b):
+            b.task("w0", out=["a"], footprint=[(CHUNK, 64, AccessMode.WRITE)])
+            b.taskwait()
+            b.task("w1", out=["b"], footprint=[(CHUNK, 64, AccessMode.WRITE)])
+
+        assert find_races(tdg_of(build)) == []
+
+    def test_inoutset_group_is_sanctioned(self):
+        def build(b):
+            b.task("s0", inoutset=["f"], footprint=[(CHUNK, 64, AccessMode.READWRITE)])
+            b.task("s1", inoutset=["f"], footprint=[(CHUNK, 64, AccessMode.READWRITE)])
+
+        assert find_races(tdg_of(build)) == []
+
+    def test_inoutset_does_not_exempt_readers(self):
+        def build(b):
+            b.task("s0", inoutset=["f"], footprint=[(CHUNK, 64, AccessMode.READWRITE)])
+            b.task("r", out=["o"], footprint=[(CHUNK, 64, AccessMode.READ)])
+
+        findings = find_races(tdg_of(build))
+        assert len(findings) == 1
+
+    def test_default_chunks_are_readwrite(self):
+        def build(b):
+            # Plain (chunk, bytes) 2-tuples: conservatively read-modify-write.
+            b.task("t0", out=["a"], footprint=[(CHUNK, 64)])
+            b.task("t1", out=["b"], footprint=[(CHUNK, 64)])
+
+        findings = find_races(tdg_of(build))
+        assert len(findings) == 1
+        assert findings[0].data["kind"] == "write/write"
+
+    def test_truncation_cap(self):
+        def build(b):
+            for i in range(20):
+                b.task(f"w{i}", out=[f"a{i}"], footprint=[(CHUNK, 64, AccessMode.WRITE)])
+
+        findings = find_races(tdg_of(build))
+        from repro.verify.races import MAX_RACE_FINDINGS
+
+        assert len(findings) == MAX_RACE_FINDINGS + 1
+        assert "truncated" in findings[-1].message
+
+
+class TestShippedAppsRaceFree:
+    def test_lulesh_race_free_persistent(self):
+        from repro.apps.lulesh import LuleshConfig, build_task_program
+
+        prog = build_task_program(
+            LuleshConfig(s=8, iterations=2, tpl=8), opt_a=True
+        )
+        tdg = discover_static(prog, OptimizationSet.parse("abcp"))
+        assert find_races(tdg) == []
+
+    def test_cholesky_race_free(self):
+        from repro.apps.cholesky import CholeskyConfig, build_task_programs
+
+        prog = build_task_programs(CholeskyConfig(n=256, b=64))[0]
+        tdg = discover_static(prog, OptimizationSet.parse("abc"))
+        assert find_races(tdg) == []

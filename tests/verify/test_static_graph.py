@@ -1,0 +1,126 @@
+"""Static TDG discovery: graph structure, segments and happens-before."""
+
+import pytest
+
+from repro.core.optimizations import OptimizationSet
+from repro.core.program import ProgramBuilder
+from repro.verify.static_graph import discover_static
+
+
+def chain_program(n=3, *, persistent=False, iterations=1):
+    b = ProgramBuilder("chain", persistent_candidate=persistent)
+    for _ in range(iterations):
+        with b.iteration():
+            b.task("w", out=["x"])
+            for i in range(n - 1):
+                b.task(f"r{i}", inp=["x"], out=[f"y{i}"])
+    return b.build()
+
+
+class TestDiscovery:
+    def test_counts_and_nodes(self):
+        tdg = discover_static(chain_program(3), OptimizationSet.parse("ab"))
+        assert tdg.n_user_tasks == 3
+        assert tdg.n_stubs == 0
+        assert tdg.n_edges == 2
+        assert [n.name for n in tdg.nodes] == ["w", "r0", "r1"]
+        assert all(n.iteration == 0 for n in tdg.nodes)
+
+    def test_redirect_stubs_registered(self):
+        b = ProgramBuilder("ioset")
+        with b.iteration():
+            for i in range(3):
+                b.task(f"w{i}", inoutset=["x"])
+            for i in range(2):
+                b.task(f"r{i}", inp=["x"])
+        tdg = discover_static(b.build(), OptimizationSet.parse("abc"))
+        assert tdg.n_user_tasks == 5
+        assert tdg.n_stubs == 1
+        assert tdg.graph.stats.redirect_nodes == 1
+        # m + n edges through the stub.
+        assert tdg.n_edges == 3 + 2
+
+    def test_non_persistent_keeps_cross_iteration_edges(self):
+        prog = chain_program(2, iterations=2)
+        tdg = discover_static(prog, OptimizationSet.parse("ab"))
+        assert not tdg.persistent
+        # iteration 1's writer depends on iteration 0's reader (WAR) and
+        # writer (WAW is transitively covered); edges cross the boundary.
+        cross = [
+            (p, s)
+            for p, s in tdg.unique_edges()
+            if tdg.nodes[p].iteration != tdg.nodes[s].iteration
+        ]
+        assert cross
+
+    def test_persistent_resolves_template_only(self):
+        prog = chain_program(2, persistent=True, iterations=4)
+        tdg = discover_static(prog, OptimizationSet.parse("abcp"))
+        assert tdg.persistent
+        assert tdg.n_user_tasks == 2  # template only
+        assert len({n.iteration for n in tdg.nodes}) == 1
+
+
+class TestHappensBefore:
+    def test_graph_path_orders(self):
+        tdg = discover_static(chain_program(3), OptimizationSet.parse("ab"))
+        w, r0, r1 = tdg.nodes
+        assert tdg.happens_before(w, r0)
+        assert not tdg.happens_before(r0, w)
+        assert tdg.ordered(w, r1)
+        # The two readers are mutually unordered.
+        assert not tdg.ordered(r0, r1)
+
+    def test_taskwait_orders_segments(self):
+        b = ProgramBuilder("tw")
+        with b.iteration():
+            b.task("a", out=["x"])
+            b.task("b", out=["y"])
+            b.taskwait()
+            b.task("c", out=["z"])
+        tdg = discover_static(b.build(), OptimizationSet.parse("ab"))
+        a, bb, c = tdg.nodes
+        assert a.segment == bb.segment == 0
+        assert c.segment == 1
+        assert not tdg.ordered(a, bb)
+        assert tdg.happens_before(a, c) and tdg.happens_before(bb, c)
+
+    def test_persistent_iteration_barrier_orders(self):
+        prog = chain_program(2, persistent=True, iterations=2)
+        tdg = discover_static(prog, OptimizationSet.parse("abcp"))
+        # Only template nodes exist, but the replay barrier bumps segments
+        # so anything conceptually later is ordered after the template.
+        assert tdg.nodes[-1].segment == 0
+
+    def test_ancestors_handle_redirect_topology(self):
+        # Redirect stubs get edges toward earlier tids: creation order is
+        # not topological, Kahn must still close the ancestor sets.
+        b = ProgramBuilder("ioset")
+        with b.iteration():
+            for i in range(2):
+                b.task(f"w{i}", inoutset=["x"])
+            for i in range(2):
+                b.task(f"r{i}", inp=["x"])
+        tdg = discover_static(b.build(), OptimizationSet.parse("abc"))
+        w0 = tdg.nodes[0]
+        readers = [n for n in tdg.nodes if n.name.startswith("r")]
+        assert all(tdg.happens_before(w0, r) for r in readers)
+
+
+class TestIterationCosts:
+    def test_costs_only_with_costs(self):
+        prog = chain_program(2, iterations=2)
+        tdg = discover_static(prog, OptimizationSet.parse("ab"))
+        assert tdg.iteration_costs == []
+
+    def test_persistent_replay_cheaper(self):
+        from repro.runtime.costs import DiscoveryCosts
+
+        prog = chain_program(4, persistent=True, iterations=3)
+        tdg = discover_static(
+            prog, OptimizationSet.parse("abcp"), costs=DiscoveryCosts()
+        )
+        first, *rest = tdg.iteration_costs
+        assert len(rest) == 2
+        assert all(c < first for c in rest)
+        assert rest[0] == pytest.approx(rest[1])

@@ -1,0 +1,92 @@
+"""verify_program orchestration and the ``repro lint`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.program import ProgramBuilder
+from repro.core.task import AccessMode
+from repro.verify import PASSES, RULES, Severity, verify_program
+from repro.verify.report import render_json, render_text
+
+
+def racy_program():
+    b = ProgramBuilder("racy")
+    with b.iteration():
+        b.task("w0", out=["a"], footprint=[(3, 64, AccessMode.WRITE)])
+        b.task("w1", out=["b"], footprint=[(3, 64, AccessMode.WRITE)])
+    return b.build()
+
+
+class TestVerifyProgram:
+    def test_all_passes_run_by_default(self):
+        rep = verify_program(racy_program())
+        assert rep.passes == list(PASSES)
+        assert rep.by_rule("V-RACE")
+        assert rep.worst == Severity.ERROR
+        assert rep.summary["n_tasks"] == 2
+
+    def test_pass_selection(self):
+        rep = verify_program(racy_program(), passes=["lint"])
+        assert rep.by_rule("V-RACE") == []
+        assert "discovery_total" not in rep.summary
+        assert rep.summary["n_tasks"] == 2
+
+    def test_unknown_pass_rejected(self):
+        with pytest.raises(ValueError, match="unknown verify passes"):
+            verify_program(racy_program(), passes=["racez"])
+
+    def test_rules_registry_covers_emitted_rules(self):
+        rep = verify_program(racy_program())
+        assert {f.rule for f in rep} <= set(RULES)
+
+    def test_renderers(self):
+        rep = verify_program(racy_program())
+        text = render_text(rep)
+        assert "V-RACE" in text and "error" in text
+        payload = json.loads(render_json(rep))
+        assert payload["counts"]["error"] >= 1
+        assert payload["findings"][0]["rule"] == "V-RACE"
+
+    def test_clean_program_report(self):
+        b = ProgramBuilder("clean")
+        with b.iteration():
+            b.task("t", out=["x"], flops=1e9)
+        rep = verify_program(b.build())
+        assert rep.worst is None
+        assert "no findings" in render_text(rep)
+
+
+class TestLintCommand:
+    @pytest.mark.parametrize("app", ["lulesh", "hpcg", "cholesky"])
+    def test_shipped_apps_have_zero_errors(self, app, capsys):
+        assert main(["lint", app]) == 0
+        out = capsys.readouterr().out
+        assert "0 errors" in out or "no findings" in out
+
+    def test_json_output(self, capsys):
+        assert main(["lint", "cholesky", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["program"].startswith("cholesky")
+        assert payload["counts"]["error"] == 0
+
+    def test_fail_on_warning(self, capsys):
+        # HPCG at lint defaults is discovery bound -> warning -> exit 1.
+        assert main(["lint", "hpcg", "--fail-on", "warning"]) == 1
+
+    def test_opts_change_findings(self, capsys):
+        # Without opt (c), HPCG's reduction fan-ins trip V-IOSET-FANIN.
+        assert main(["lint", "hpcg", "--opts", "ab", "--json"]) in (0, 1)
+        payload = json.loads(capsys.readouterr().out)
+        rules = {f["rule"] for f in payload["findings"]}
+        assert "V-IOSET-FANIN" in rules
+
+
+class TestInfoListsVerify:
+    def test_info_lists_rules_and_passes(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "verify passes" in out
+        for rule in RULES:
+            assert rule in out
