@@ -1,9 +1,13 @@
 """Coupled multi-rank simulation: all ranks share one event queue.
 
 This is the distributed substrate of §4: every simulated MPI process runs
-its own OpenMP runtime (task-based or parallel-for), and the shared
+its own OpenMP runtime (task-based or parallel-for) on one shared
+:class:`~repro.sim.SimContext`, and the shared
 :class:`~repro.mpi.comm.Communicator` couples them — collective skew, eager
 vs rendezvous matching and overlap all emerge from the common timeline.
+Each rank's runtime carries its own instrumentation bus; pass a shared
+``bus`` to :class:`Cluster` to observe every rank's events interleaved in
+simulated-time order instead.
 """
 
 from __future__ import annotations
@@ -14,10 +18,10 @@ from typing import Optional, Sequence, Union
 from repro.core.program import Program
 from repro.mpi.comm import Communicator
 from repro.mpi.network import NetworkSpec, bxi_like
-from repro.runtime.engine import EventQueue
 from repro.runtime.parallel_for import ForProgram, ParallelForRuntime
 from repro.runtime.result import RunResult
 from repro.runtime.runtime import RuntimeConfig, TaskRuntime
+from repro.sim import SimContext
 
 AnyProgram = Union[Program, ForProgram]
 
@@ -47,12 +51,17 @@ class Cluster:
         n_ranks: int,
         *,
         network: Optional[NetworkSpec] = None,
+        ctx: Optional[SimContext] = None,
+        bus=None,
     ) -> None:
         if n_ranks < 1:
             raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
         self.n_ranks = n_ranks
         self.network = network if network is not None else bxi_like()
-        self.engine = EventQueue()
+        self.ctx = ctx if ctx is not None else SimContext()
+        self.engine = self.ctx.engine
+        #: Optional shared bus handed to every rank's runtime.
+        self.bus = bus
         self.comm = Communicator(self.engine, self.network, n_ranks)
 
     # ------------------------------------------------------------------
@@ -79,10 +88,12 @@ class Cluster:
         for r, (prog, cfg) in enumerate(zip(programs, configs)):
             if isinstance(prog, ForProgram):
                 rt = ParallelForRuntime(
-                    prog, cfg, engine=self.engine, comm=self.comm, rank=r
+                    prog, cfg, ctx=self.ctx, comm=self.comm, rank=r, bus=self.bus
                 )
             else:
-                rt = TaskRuntime(prog, cfg, engine=self.engine, comm=self.comm, rank=r)
+                rt = TaskRuntime(
+                    prog, cfg, ctx=self.ctx, comm=self.comm, rank=r, bus=self.bus
+                )
             runtimes.append(rt)
         for rt in runtimes:
             rt.start()

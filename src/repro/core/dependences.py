@@ -6,10 +6,15 @@ writing entity and the readers since that write, and materializes precedence
 edges accordingly.  The paper's optimizations hook in here:
 
 - optimization **(b)**: duplicate edges detected in O(1) thanks to sequential
-  submission (delegated to :meth:`repro.core.graph.TaskGraph.add_edge`);
+  submission (delegated to :meth:`repro.sim.table.TaskTable.add_edge`);
 - optimization **(c)**: when a group of ``inoutset`` writers is closed by an
   access of another mode, an empty *redirect node* is inserted so the m
   writers and n downstream readers cost m+n edges instead of m*n (Fig. 4).
+
+The resolver is part of the discovery hot path, so it works in ``tid``
+space directly against the struct-of-arrays task table
+(:meth:`DependenceResolver.resolve_tid`); :meth:`DependenceResolver.resolve`
+is the object-level wrapper for callers holding :class:`Task` views.
 
 Semantics implemented (sufficient for the paper's workloads):
 
@@ -28,26 +33,32 @@ INOUTSET    like OUT versus earlier accesses, but mutually
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Union
 
 from repro.core.graph import TaskGraph
 from repro.core.optimizations import OptimizationSet
 from repro.core.task import Dep, DepMode, Task
+from repro.sim.table import TaskTable
+
+#: DepMode values as plain ints (the resolve loop compares ints).
+_IN = int(DepMode.IN)
+_INOUTSET = int(DepMode.INOUTSET)
 
 
 @dataclass(slots=True)
 class AddrState:
-    """Dependence bookkeeping for one storage address."""
+    """Dependence bookkeeping for one storage address (tids throughout)."""
 
     #: The current "last write" entity: a single task for OUT/INOUT, the
     #: whole group for an open (or unredirected) inoutset, or a redirect
     #: node (singleton list) after optimization (c) closed a group.
-    writers: list[Task] = field(default_factory=list)
+    writers: list[int] = field(default_factory=list)
     #: Tasks that read the address since ``writers`` was installed.
-    readers: list[Task] = field(default_factory=list)
+    readers: list[int] = field(default_factory=list)
     #: True while ``writers`` is an inoutset group still accepting members.
     ioset_open: bool = False
     #: Predecessors the open inoutset group members must each wait for.
-    ioset_preds: list[Task] = field(default_factory=list)
+    ioset_preds: list[int] = field(default_factory=list)
 
 
 @dataclass(slots=True)
@@ -62,22 +73,29 @@ class ResolutionResult:
     n_skipped: int = 0
     #: Redirect nodes created while resolving this task.
     n_redirects: int = 0
-    #: The redirect stub tasks themselves (the runtime arms and counts them).
+    #: Redirect stub tids (the runtime arms and counts them).
+    redirect_tids: list[int] = field(default_factory=list)
+    #: The stubs as :class:`Task` views — filled by :meth:`resolve`, empty
+    #: on the tid fast path.
     redirect_tasks: list[Task] = field(default_factory=list)
 
 
 class DependenceResolver:
-    """Resolves task ``depend`` clauses against a :class:`TaskGraph`.
+    """Resolves task ``depend`` clauses against a task table.
 
-    One resolver instance corresponds to one data environment — the paper's
-    persistent-TDG implicit barrier resets it between iterations, dropping
-    inter-iteration edges (§3.3's explanation of why (p) *reduces* the first
-    iteration's edge count).
+    Accepts either a :class:`TaskGraph` facade or its
+    :class:`~repro.sim.table.TaskTable` directly.  One resolver instance
+    corresponds to one data environment — the paper's persistent-TDG
+    implicit barrier resets it between iterations, dropping
+    inter-iteration edges (§3.3's explanation of why (p) *reduces* the
+    first iteration's edge count).
     """
 
-    def __init__(self, graph: TaskGraph, opts: OptimizationSet):
+    def __init__(self, graph: Union[TaskGraph, TaskTable], opts: OptimizationSet):
         self.graph = graph
+        self.table: TaskTable = graph.table if isinstance(graph, TaskGraph) else graph
         self.opts = opts
+        self._dedup = opts.b
         self._addr_map: dict[int, AddrState] = {}
 
     # ------------------------------------------------------------------
@@ -86,25 +104,34 @@ class DependenceResolver:
         self._addr_map.clear()
 
     # ------------------------------------------------------------------
-    def resolve(self, task: Task, depends: tuple[Dep, ...]) -> ResolutionResult:
-        """Create the edges implied by ``depends`` for a freshly created task."""
+    def resolve(self, task: Union[Task, int], depends: tuple[Dep, ...]) -> ResolutionResult:
+        """Object-level wrapper: resolve and return stub views as well."""
+        tid = task if type(task) is int else task._i
+        res = self.resolve_tid(tid, depends)
+        if res.redirect_tids:
+            view = self.table.view
+            res.redirect_tasks = [view(t) for t in res.redirect_tids]
+        return res
+
+    def resolve_tid(self, tid: int, depends: tuple[Dep, ...]) -> ResolutionResult:
+        """Create the edges implied by ``depends`` for freshly created ``tid``."""
         res = ResolutionResult(n_addrs=len(depends))
         addr_map = self._addr_map
         for addr, mode in depends:
             st = addr_map.get(addr)
             if st is None:
                 st = addr_map[addr] = AddrState()
-            if mode == DepMode.IN:
-                self._resolve_in(task, st, res)
-            elif mode == DepMode.INOUTSET:
-                self._resolve_inoutset(task, st, res)
+            if mode == _IN:
+                self._resolve_in(tid, st, res)
+            elif mode == _INOUTSET:
+                self._resolve_inoutset(tid, st, res)
             else:  # OUT and INOUT are equivalent for ordering purposes
-                self._resolve_out(task, st, res)
+                self._resolve_out(tid, st, res)
         return res
 
     # ------------------------------------------------------------------
-    def _edge(self, pred: Task, succ: Task, res: ResolutionResult) -> None:
-        if self.graph.add_edge(pred, succ, dedup=self.opts.b):
+    def _edge(self, pred: int, succ: int, res: ResolutionResult) -> None:
+        if self.table.add_edge(pred, succ, dedup=self._dedup):
             res.n_edges += 1
         else:
             res.n_skipped += 1
@@ -122,49 +149,82 @@ class DependenceResolver:
         st.ioset_open = False
         st.ioset_preds = []
         if self.opts.c and len(st.writers) > 1:
-            redirect = self.graph.new_stub()
+            table = self.table
+            redirect = table.new_stub()
             res.n_redirects += 1
-            res.redirect_tasks.append(redirect)
+            res.redirect_tids.append(redirect)
             for w in st.writers:
                 self._edge(w, redirect, res)
             # The stub's predecessor count is final as soon as its edges
             # exist (nothing adds predecessors later); snapshot it for
             # persistent replay before any completion can decrement it.
-            redirect.npred_initial = redirect.npred + redirect.presat
+            table.npred_initial[redirect] = (
+                table.npred[redirect] + table.presat[redirect]
+            )
             st.writers = [redirect]
 
     # ------------------------------------------------------------------
-    def _resolve_in(self, task: Task, st: AddrState, res: ResolutionResult) -> None:
-        self._close_ioset(st, res)
-        for w in st.writers:
-            self._edge(w, task, res)
-        st.readers.append(task)
+    # The three mode handlers below inline their edge loops (bound
+    # ``add_edge``, local counters) instead of going through ``_edge`` —
+    # they account for one edge-creation attempt per predecessor, which is
+    # the dominant call count of the whole discovery path.
+    def _resolve_in(self, tid: int, st: AddrState, res: ResolutionResult) -> None:
+        if st.ioset_open:
+            self._close_ioset(st, res)
+        writers = st.writers
+        if writers:
+            add_edge = self.table.add_edge
+            dedup = self._dedup
+            ne = ns = 0
+            for w in writers:
+                if add_edge(w, tid, dedup=dedup):
+                    ne += 1
+                else:
+                    ns += 1
+            res.n_edges += ne
+            res.n_skipped += ns
+        st.readers.append(tid)
 
-    def _resolve_out(self, task: Task, st: AddrState, res: ResolutionResult) -> None:
-        self._close_ioset(st, res)
-        for r in st.readers:
-            self._edge(r, task, res)
-        if not st.readers:
-            # Readers already transitively order this task after the
-            # writers; only a write-after-write with no intervening read
-            # needs direct writer edges.
-            for w in st.writers:
-                self._edge(w, task, res)
-        st.writers = [task]
+    def _resolve_out(self, tid: int, st: AddrState, res: ResolutionResult) -> None:
+        if st.ioset_open:
+            self._close_ioset(st, res)
+        # Readers already transitively order this task after the writers;
+        # only a write-after-write with no intervening read needs direct
+        # writer edges.
+        preds = st.readers or st.writers
+        if preds:
+            add_edge = self.table.add_edge
+            dedup = self._dedup
+            ne = ns = 0
+            for p in preds:
+                if add_edge(p, tid, dedup=dedup):
+                    ne += 1
+                else:
+                    ns += 1
+            res.n_edges += ne
+            res.n_skipped += ns
+        st.writers = [tid]
         st.readers = []
 
-    def _resolve_inoutset(self, task: Task, st: AddrState, res: ResolutionResult) -> None:
+    def _resolve_inoutset(self, tid: int, st: AddrState, res: ResolutionResult) -> None:
         if st.ioset_open:
             # Join the open group: concurrent with its members, ordered
             # after the same predecessors the group opener waited for.
-            for p in st.ioset_preds:
-                self._edge(p, task, res)
-            st.writers.append(task)
+            preds = st.ioset_preds
+            st.writers.append(tid)
         else:
-            preds = list(st.readers) if st.readers else list(st.writers)
-            for p in preds:
-                self._edge(p, task, res)
-            st.ioset_preds = preds
-            st.writers = [task]
+            preds = st.ioset_preds = list(st.readers) if st.readers else list(st.writers)
+            st.writers = [tid]
             st.readers = []
             st.ioset_open = True
+        if preds:
+            add_edge = self.table.add_edge
+            dedup = self._dedup
+            ne = ns = 0
+            for p in preds:
+                if add_edge(p, tid, dedup=dedup):
+                    ne += 1
+                else:
+                    ns += 1
+            res.n_edges += ne
+            res.n_skipped += ns

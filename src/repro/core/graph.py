@@ -1,78 +1,72 @@
-"""Task Dependency Graph storage and edge accounting.
+"""Task Dependency Graph facade over the struct-of-arrays task table.
 
-The TDG is stored intrusively on the tasks (successor lists + predecessor
-counters) the way production runtimes do; this module owns the *accounting*
-the paper reports: edges created, duplicate edges skipped by optimization
-(b), edges pruned because the predecessor was already consumed, and redirect
-nodes inserted by optimization (c).
+The TDG itself lives in a :class:`~repro.sim.table.TaskTable` (parallel
+columns for state, predecessor counters, successor lists) — that is what
+the simulated runtimes manipulate.  :class:`TaskGraph` is the object-level
+facade: it deals in :class:`~repro.core.task.Task` views and owns the
+*accounting* the paper reports — edges created, duplicate edges skipped by
+optimization (b), edges pruned because the predecessor was already
+consumed, and redirect nodes inserted by optimization (c).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Union
 
-from repro.core.task import Task, TaskState
+from repro.core.graph_stats import EdgeStats
+from repro.core.task import Task
+from repro.sim.table import TaskTable
 
-
-@dataclass(slots=True)
-class EdgeStats:
-    """Counters over one discovery (matching Table 2's columns)."""
-
-    #: Edges materialized into successor lists (paper: "n° of edges").
-    created: int = 0
-    #: Edges skipped because the predecessor had already completed and the
-    #: graph is not persistent (the automatic pruning of §3.3).
-    pruned: int = 0
-    #: Duplicate edges removed by optimization (b).
-    duplicates_skipped: int = 0
-    #: Duplicate edges that were materialized because opt (b) was off.
-    duplicates_created: int = 0
-    #: Empty redirect nodes inserted by optimization (c).
-    redirect_nodes: int = 0
-
-    def merge(self, other: "EdgeStats") -> None:
-        self.created += other.created
-        self.pruned += other.pruned
-        self.duplicates_skipped += other.duplicates_skipped
-        self.duplicates_created += other.duplicates_created
-        self.redirect_nodes += other.redirect_nodes
+__all__ = ["EdgeStats", "TaskGraph"]
 
 
 class TaskGraph:
     """A TDG under construction or replay.
 
     Owns task identity allocation and the edge counters; the dependence
-    resolver calls :meth:`add_edge` for every precedence constraint it finds.
+    resolver calls :meth:`add_edge` for every precedence constraint it
+    finds.  ``add_edge`` accepts both :class:`Task` views and raw tids —
+    the hot path passes tids and never materializes views.
     """
 
     def __init__(self, *, persistent: bool = False, prune_completed: bool = True):
-        #: All tasks in creation order (including redirect stubs).
-        self.tasks: list[Task] = []
-        #: Persistent graphs must create every edge — pruning would lose
-        #: constraints needed by later iterations (§3.2).
-        self.persistent = persistent
-        self.prune_completed = prune_completed and not persistent
-        self.stats = EdgeStats()
-        self._next_tid = 0
+        self.table = TaskTable(persistent=persistent, prune_completed=prune_completed)
+
+    # ------------------------------------------------------------------
+    @property
+    def tasks(self) -> list[Task]:
+        """All tasks in creation order (including redirect stubs)."""
+        return self.table.views()
+
+    @property
+    def persistent(self) -> bool:
+        return self.table.persistent
+
+    @property
+    def prune_completed(self) -> bool:
+        return self.table.prune_completed
+
+    @property
+    def stats(self) -> EdgeStats:
+        return self.table.stats
 
     # ------------------------------------------------------------------
     def new_task(self, **kwargs) -> Task:
         """Allocate a task with a fresh id and register it."""
-        t = Task(self._next_tid, **kwargs)
-        self._next_tid += 1
-        t.persistent = self.persistent
-        self.tasks.append(t)
-        return t
+        return self.table.view(self.table.new(**kwargs))
 
     def new_stub(self, name: str = "redirect") -> Task:
         """Allocate an empty redirect node (optimization (c))."""
-        t = self.new_task(name=name, is_stub=True)
-        self.stats.redirect_nodes += 1
-        return t
+        return self.table.view(self.table.new_stub(name))
 
     # ------------------------------------------------------------------
-    def add_edge(self, pred: Task, succ: Task, *, dedup: bool) -> bool:
+    def add_edge(
+        self,
+        pred: Union[Task, int],
+        succ: Union[Task, int],
+        *,
+        dedup: bool,
+    ) -> bool:
         """Record the precedence constraint ``pred -> succ``.
 
         Returns True if an edge was materialized.  With ``dedup`` (opt (b))
@@ -80,53 +74,31 @@ class TaskGraph:
         skipped in O(1) — sequential submission guarantees any duplicate
         edge towards ``succ`` is adjacent in ``pred``'s creation order.
         """
-        if pred is succ:
-            return False
-        if pred.last_successor is succ:
-            if dedup:
-                self.stats.duplicates_skipped += 1
-                return False
-            self.stats.duplicates_created += 1
-        if pred.state == TaskState.COMPLETED:
-            if self.prune_completed:
-                # The predecessor was consumed before this task was
-                # discovered: no constraint is needed (and none can be
-                # expressed — the task descriptor may already be recycled).
-                self.stats.pruned += 1
-                return False
-            # Persistent graph: the edge must exist for future iterations,
-            # but it is already satisfied for the current one.
-            pred.successors.append(succ)
-            pred.last_successor = succ
-            succ.presat += 1
-            self.stats.created += 1
-            return True
-        pred.successors.append(succ)
-        pred.last_successor = succ
-        succ.npred += 1
-        self.stats.created += 1
-        return True
+        if type(pred) is not int:
+            pred = pred._i
+        if type(succ) is not int:
+            succ = succ._i
+        return self.table.add_edge(pred, succ, dedup=dedup)
 
     # ------------------------------------------------------------------
     @property
     def n_tasks(self) -> int:
-        return len(self.tasks)
+        return len(self.table)
 
     @property
     def n_edges(self) -> int:
-        return self.stats.created
+        return self.table.stats.created
 
     def iter_edges(self) -> Iterator[tuple[Task, Task]]:
         """Yield materialized edges (with multiplicity) in creation order."""
-        for t in self.tasks:
-            for s in t.successors:
-                yield t, s
+        view = self.table.view
+        for t, s in self.table.iter_edges():
+            yield view(t), view(s)
 
     # ------------------------------------------------------------------
     def reset_for_replay(self) -> None:
         """Re-arm every task for the next persistent iteration."""
-        for t in self.tasks:
-            t.reset_for_replay()
+        self.table.reset_for_replay()
 
     def validate_acyclic(self) -> None:
         """Raise ``ValueError`` if the materialized graph has a cycle.
@@ -135,22 +107,25 @@ class TaskGraph:
         point from earlier to later tasks); this is a debugging invariant
         used by the test-suite, not a hot path.
         """
-        indeg = {t.tid: 0 for t in self.tasks}
-        for _, s in self.iter_edges():
-            indeg[s.tid] += 1
-        stack = [t for t in self.tasks if indeg[t.tid] == 0]
+        succs = self.table.succs
+        n = len(succs)
+        indeg = [0] * n
+        for succ_list in succs:
+            for s in succ_list:
+                indeg[s] += 1
+        stack = [t for t in range(n) if indeg[t] == 0]
         seen = 0
         while stack:
             t = stack.pop()
             seen += 1
-            for s in t.successors:
-                indeg[s.tid] -= 1
-                if indeg[s.tid] == 0:
+            for s in succs[t]:
+                indeg[s] -= 1
+                if indeg[s] == 0:
                     stack.append(s)
-        if seen != len(self.tasks):
+        if seen != n:
             raise ValueError("task graph contains a cycle")
 
     def topological_order(self) -> list[Task]:
         """One valid topological order (used by the sequential executor)."""
         self.validate_acyclic()
-        return list(self.tasks)  # creation order is topological by construction
+        return self.table.views()  # creation order is topological by construction

@@ -1,0 +1,34 @@
+"""Edge-accounting counters for TDG discovery.
+
+Split out of :mod:`repro.core.graph` so the struct-of-arrays storage
+(:mod:`repro.sim.table`) can share the counters without importing the
+graph facade (which imports the table back).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class EdgeStats:
+    """Counters over one discovery (matching Table 2's columns)."""
+
+    #: Edges materialized into successor lists (paper: "n° of edges").
+    created: int = 0
+    #: Edges skipped because the predecessor had already completed and the
+    #: graph is not persistent (the automatic pruning of §3.3).
+    pruned: int = 0
+    #: Duplicate edges removed by optimization (b).
+    duplicates_skipped: int = 0
+    #: Duplicate edges that were materialized because opt (b) was off.
+    duplicates_created: int = 0
+    #: Empty redirect nodes inserted by optimization (c).
+    redirect_nodes: int = 0
+
+    def merge(self, other: "EdgeStats") -> None:
+        self.created += other.created
+        self.pruned += other.pruned
+        self.duplicates_skipped += other.duplicates_skipped
+        self.duplicates_created += other.duplicates_created
+        self.redirect_nodes += other.redirect_nodes

@@ -1,11 +1,20 @@
 """Task model: the runtime-side representation of an OpenMP dependent task.
 
-A :class:`Task` is the mutable object the simulated runtime manipulates: it
-carries the dependence bookkeeping (predecessor counter, successor list), the
+A :class:`Task` is the mutable handle the public API manipulates: it carries
+the dependence bookkeeping (predecessor counter, successor list), the
 scheduling state, and the cost-model inputs (flops, memory footprint).  The
 immutable *description* of a task as emitted by user code lives in
 :class:`repro.core.program.TaskSpec`; the producer thread turns specs into
-``Task`` objects during TDG discovery, paying the costs the paper studies.
+tasks during TDG discovery, paying the costs the paper studies.
+
+Storage-wise a ``Task`` is a thin *view*: the actual state lives in one row
+of a struct-of-arrays :class:`~repro.sim.table.TaskTable` (experiments
+instantiate hundreds of thousands of tasks per run, and the simulated
+runtime works on the columns directly).  Views are cached per row, so two
+handles to the same task are the same object and identity comparisons
+behave like they did when tasks were standalone objects.  Constructing a
+``Task`` directly (as tests and small tools do) allocates a private
+one-row table behind the scenes.
 """
 
 from __future__ import annotations
@@ -15,6 +24,7 @@ from typing import TYPE_CHECKING, Callable, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.program import CommSpec
+    from repro.sim.table import TaskTable
 
 
 class DepMode(enum.IntEnum):
@@ -50,7 +60,11 @@ class AccessMode(enum.IntEnum):
 
 
 class TaskState(enum.IntEnum):
-    """Lifecycle of a task inside the simulated runtime."""
+    """Lifecycle of a task inside the simulated runtime.
+
+    Values are stable and mirrored as plain ints inside
+    :mod:`repro.sim.table` (the hot path compares ints, not enum members).
+    """
 
     #: Created by the producer, still has unsatisfied predecessors.
     CREATED = 0
@@ -98,40 +112,9 @@ def split_footprint(
 
 
 class Task:
-    """A runtime task instance.
+    """A runtime task instance — a view over one :class:`TaskTable` row."""
 
-    Attributes double as the simulator's working state, hence ``__slots__``:
-    experiments instantiate hundreds of thousands of these per run.
-    """
-
-    __slots__ = (
-        "tid",
-        "name",
-        "loop_id",
-        "iteration",
-        "flops",
-        "footprint",
-        "fp_modes",
-        "fp_bytes",
-        "comm",
-        "body",
-        "state",
-        "npred",
-        "npred_initial",
-        "presat",
-        "successors",
-        "last_successor",
-        "persistent",
-        "is_stub",
-        "priority",
-        "device",
-        "created_at",
-        "started_at",
-        "completed_at",
-        "worker",
-        "detach_pending",
-        "armed",
-    )
+    __slots__ = ("_t", "_i", "tid")
 
     def __init__(
         self,
@@ -147,52 +130,255 @@ class Task:
         body: Optional[Callable[[], None]] = None,
         is_stub: bool = False,
     ) -> None:
+        from repro.sim.table import TaskTable
+
+        table = TaskTable()
+        row = table.new(
+            name,
+            loop_id=loop_id,
+            iteration=iteration,
+            flops=flops,
+            footprint=footprint,
+            fp_bytes=fp_bytes,
+            comm=comm,
+            body=body,
+            is_stub=is_stub,
+        )
+        table._views[row] = self
+        self._t = table
+        self._i = row
+        #: Task id.  Rows allocated through a graph/table use the row index;
+        #: standalone construction keeps whatever id the caller passed.
         self.tid = tid
-        self.name = name
-        self.loop_id = loop_id
-        self.iteration = iteration
-        self.flops = flops
-        self.footprint, self.fp_modes = split_footprint(footprint)
-        self.fp_bytes = fp_bytes
-        self.comm = comm
-        self.body = body
-        self.state = TaskState.CREATED
-        #: Unsatisfied predecessor count (edge multiplicity included: a
-        #: duplicate edge contributes one satisfy on predecessor completion,
-        #: so correctness holds with or without optimization (b)).
-        self.npred = 0
-        #: In a persistent graph, edges created towards predecessors that
-        #: had *already completed* at discovery time: they are materialized
-        #: (future iterations need them) but pre-satisfied for the current
-        #: iteration, so they never contribute to ``npred``.
-        self.presat = 0
-        #: Predecessor count at end of discovery — needed to re-arm a
-        #: persistent task graph between iterations.
-        self.npred_initial = 0
-        self.successors: list[Task] = []
-        #: Most recent successor an edge was created towards.  Sequential
-        #: task submission makes duplicate-edge detection O(1): a duplicate
-        #: can only be the immediately preceding edge (optimization (b)).
-        self.last_successor: Optional[Task] = None
-        self.persistent = False
-        self.is_stub = is_stub
-        #: Scheduled ahead of ordinary ready tasks (communication path).
-        self.priority = False
-        #: Executes on the simulated accelerator (see repro.accel).
-        self.device = False
-        self.created_at = float("nan")
-        self.started_at = float("nan")
-        self.completed_at = float("nan")
-        self.worker = -1
-        #: True while a detached MPI request posted by this task is in
-        #: flight; the task only completes (releasing successors) when the
-        #: request does — the OpenMP ``detach(event)`` clause of Listing 1.
-        self.detach_pending = False
-        #: A task becomes *armed* when its creation (or persistent replay
-        #: re-instancing) finishes on the producer thread.  Predecessors may
-        #: complete while the producer is still paying the creation cost;
-        #: readiness is only actioned once armed.
-        self.armed = False
+
+    @classmethod
+    def _of(cls, table: "TaskTable", row: int) -> "Task":
+        """Internal: build the view for an existing table row."""
+        self = object.__new__(cls)
+        self._t = table
+        self._i = row
+        self.tid = row
+        return self
+
+    # ------------------------------------------------------------------
+    # Identity / cost-model fields.
+    @property
+    def table(self) -> "TaskTable":
+        """The backing struct-of-arrays storage."""
+        return self._t
+
+    @property
+    def name(self) -> str:
+        return self._t.name[self._i]
+
+    @name.setter
+    def name(self, v: str) -> None:
+        self._t.name[self._i] = v
+
+    @property
+    def loop_id(self) -> int:
+        return self._t.loop_id[self._i]
+
+    @loop_id.setter
+    def loop_id(self, v: int) -> None:
+        self._t.loop_id[self._i] = v
+
+    @property
+    def iteration(self) -> int:
+        return self._t.iteration[self._i]
+
+    @iteration.setter
+    def iteration(self, v: int) -> None:
+        self._t.iteration[self._i] = v
+
+    @property
+    def flops(self) -> float:
+        return self._t.flops[self._i]
+
+    @flops.setter
+    def flops(self, v: float) -> None:
+        self._t.flops[self._i] = v
+
+    @property
+    def footprint(self) -> Tuple[FootprintChunk, ...]:
+        return self._t.footprint[self._i]
+
+    @property
+    def fp_modes(self) -> Tuple[AccessMode, ...]:
+        return self._t.fp_modes[self._i]
+
+    @property
+    def fp_bytes(self) -> int:
+        return self._t.fp_bytes[self._i]
+
+    @fp_bytes.setter
+    def fp_bytes(self, v: int) -> None:
+        self._t.fp_bytes[self._i] = v
+
+    @property
+    def comm(self):
+        return self._t.comm[self._i]
+
+    @comm.setter
+    def comm(self, v) -> None:
+        self._t.comm[self._i] = v
+
+    @property
+    def body(self):
+        return self._t.body[self._i]
+
+    @body.setter
+    def body(self, v) -> None:
+        self._t.body[self._i] = v
+
+    # ------------------------------------------------------------------
+    # Dependence bookkeeping.
+    @property
+    def state(self) -> TaskState:
+        return TaskState(self._t.state[self._i])
+
+    @state.setter
+    def state(self, v) -> None:
+        self._t.state[self._i] = int(v)
+
+    @property
+    def npred(self) -> int:
+        """Unsatisfied predecessor count (edge multiplicity included: a
+        duplicate edge contributes one satisfy on predecessor completion,
+        so correctness holds with or without optimization (b))."""
+        return self._t.npred[self._i]
+
+    @npred.setter
+    def npred(self, v: int) -> None:
+        self._t.npred[self._i] = v
+
+    @property
+    def presat(self) -> int:
+        """In a persistent graph, edges created towards predecessors that
+        had *already completed* at discovery time: they are materialized
+        (future iterations need them) but pre-satisfied for the current
+        iteration, so they never contribute to ``npred``."""
+        return self._t.presat[self._i]
+
+    @presat.setter
+    def presat(self, v: int) -> None:
+        self._t.presat[self._i] = v
+
+    @property
+    def npred_initial(self) -> int:
+        """Predecessor count at end of discovery — needed to re-arm a
+        persistent task graph between iterations."""
+        return self._t.npred_initial[self._i]
+
+    @npred_initial.setter
+    def npred_initial(self, v: int) -> None:
+        self._t.npred_initial[self._i] = v
+
+    @property
+    def successors(self) -> list["Task"]:
+        """Successor tasks, as views (a fresh list — mutate the graph via
+        :meth:`TaskGraph.add_edge <repro.core.graph.TaskGraph.add_edge>`,
+        not by appending here)."""
+        t = self._t
+        view = t.view
+        return [view(s) for s in t.succs[self._i]]
+
+    @property
+    def last_successor(self) -> Optional["Task"]:
+        """Most recent successor an edge was created towards.  Sequential
+        task submission makes duplicate-edge detection O(1): a duplicate
+        can only be the immediately preceding edge (optimization (b))."""
+        last = self._t.last_succ[self._i]
+        return None if last < 0 else self._t.view(last)
+
+    @property
+    def persistent(self) -> bool:
+        return self._t.persistent
+
+    @persistent.setter
+    def persistent(self, v: bool) -> None:
+        self._t.persistent = v
+        if v:
+            self._t.prune_completed = False
+
+    # ------------------------------------------------------------------
+    # Scheduling state.
+    @property
+    def is_stub(self) -> bool:
+        return self._t.is_stub[self._i]
+
+    @property
+    def priority(self) -> bool:
+        """Scheduled ahead of ordinary ready tasks (communication path)."""
+        return self._t.priority[self._i]
+
+    @priority.setter
+    def priority(self, v: bool) -> None:
+        self._t.priority[self._i] = v
+
+    @property
+    def device(self) -> bool:
+        """Executes on the simulated accelerator (see repro.accel)."""
+        return self._t.device[self._i]
+
+    @device.setter
+    def device(self, v: bool) -> None:
+        self._t.device[self._i] = v
+
+    @property
+    def created_at(self) -> float:
+        return self._t.created_at[self._i]
+
+    @created_at.setter
+    def created_at(self, v: float) -> None:
+        self._t.created_at[self._i] = v
+
+    @property
+    def started_at(self) -> float:
+        return self._t.started_at[self._i]
+
+    @started_at.setter
+    def started_at(self, v: float) -> None:
+        self._t.started_at[self._i] = v
+
+    @property
+    def completed_at(self) -> float:
+        return self._t.completed_at[self._i]
+
+    @completed_at.setter
+    def completed_at(self, v: float) -> None:
+        self._t.completed_at[self._i] = v
+
+    @property
+    def worker(self) -> int:
+        return self._t.worker[self._i]
+
+    @worker.setter
+    def worker(self, v: int) -> None:
+        self._t.worker[self._i] = v
+
+    @property
+    def detach_pending(self) -> bool:
+        """True while a detached MPI request posted by this task is in
+        flight; the task only completes (releasing successors) when the
+        request does — the OpenMP ``detach(event)`` clause of Listing 1."""
+        return self._t.detach_pending[self._i]
+
+    @detach_pending.setter
+    def detach_pending(self, v: bool) -> None:
+        self._t.detach_pending[self._i] = v
+
+    @property
+    def armed(self) -> bool:
+        """A task becomes *armed* when its creation (or persistent replay
+        re-instancing) finishes on the producer thread.  Predecessors may
+        complete while the producer is still paying the creation cost;
+        readiness is only actioned once armed."""
+        return self._t.armed[self._i]
+
+    @armed.setter
+    def armed(self, v: bool) -> None:
+        self._t.armed[self._i] = v
 
     # ------------------------------------------------------------------
     def reset_for_replay(self) -> None:
@@ -202,22 +388,16 @@ class Task:
         the expensive part of discovery — are kept, which is exactly the
         saving the persistent TDG extension provides.
         """
-        self.state = TaskState.CREATED
-        self.npred = self.npred_initial
-        self.started_at = float("nan")
-        self.completed_at = float("nan")
-        self.worker = -1
-        self.detach_pending = False
-        self.armed = False
+        self._t.reset_row_for_replay(self._i)
 
     # ------------------------------------------------------------------
     @property
     def completed(self) -> bool:
         """Whether the task has fully completed (body + detach event)."""
-        return self.state == TaskState.COMPLETED
+        return self._t.state[self._i] == 3  # TaskState.COMPLETED
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Task(tid={self.tid}, name={self.name!r}, state={self.state.name},"
-            f" npred={self.npred}, nsucc={len(self.successors)})"
+            f" npred={self.npred}, nsucc={len(self._t.succs[self._i])})"
         )

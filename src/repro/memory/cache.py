@@ -65,16 +65,19 @@ class LRUCache:
         if nbytes < 0:
             raise ValueError(f"nbytes must be >= 0, got {nbytes}")
         entries = self._entries
+        used = self._used
         old = entries.pop(chunk, None)
         if old is not None:
-            self._used -= old
-        if nbytes > self.capacity:
+            used -= old
+        cap = self.capacity
+        if nbytes > cap:
+            self._used = used
             return
-        while self._used + nbytes > self.capacity and entries:
-            _, evicted = entries.popitem(last=False)
-            self._used -= evicted
-        self._used += nbytes
+        limit = cap - nbytes
+        while used > limit and entries:
+            used -= entries.popitem(last=False)[1]
         entries[chunk] = nbytes
+        self._used = used + nbytes
 
     def invalidate(self, chunk: int) -> bool:
         """Drop ``chunk`` if resident; return whether it was."""

@@ -114,49 +114,97 @@ class MemoryHierarchy:
         """
         if worker < 0 or worker >= self.machine.n_cores:
             raise IndexError(f"worker {worker} out of range")
+        # This is the task-execution hot path.  It open-codes the LRU
+        # touch/install logic of :class:`LRUCache` directly against the
+        # cache internals: every insert below happens right after a miss at
+        # that level, so the chunk is provably absent and the
+        # existing-entry check of :meth:`LRUCache.insert` can be skipped.
+        # Byte counters and ``_used`` occupancy accumulate in locals and
+        # are written back once at the end.
         m = self.machine
         l1 = self._l1[worker]
         l2 = self._l2[worker]
         l3 = self._l3
-        ctr = self.counters
-        eff_dram_bw = m.dram_bw / max(1, dram_sharers)
+        e1, cap1, used1 = l1._entries, l1.capacity, l1._used
+        e2, cap2, used2 = l2._entries, l2.capacity, l2._used
+        e3, cap3, used3 = l3._entries, l3.capacity, l3._used
+        e1_pop, e2_pop, e3_pop = e1.popitem, e2.popitem, e3.popitem
+        lb = m.line_bytes
+        l1_bw, l2_bw, l3_bw = m.l1_bw, m.l2_bw, m.l3_bw
+        l1_lat, l2_lat, l3_lat = m.l1_lat_cycles, m.l2_lat_cycles, m.l3_lat_cycles
+        eff_dram_bw = m.dram_bw / dram_sharers if dram_sharers > 1 else m.dram_bw
+        miss1 = miss2 = miss3 = 0
+        stall1 = stall2 = stall3 = 0.0
+        b1 = b2 = b3 = 0
         time = 0.0
         bytes_dram = 0
-        for chunk, nbytes, *_ in footprint:
+        for entry in footprint:
+            chunk = entry[0]
+            nbytes = entry[1]
             if nbytes <= 0:
                 continue
-            lines = self._lines(nbytes)
-            if l1.touch(chunk):
-                ctr.bytes_l1 += nbytes
-                time += nbytes / m.l1_bw
-            elif l2.touch(chunk):
-                ctr.l1_misses += lines
-                ctr.l1_stall_cycles += lines * m.l1_lat_cycles
-                ctr.bytes_l2 += nbytes
-                time += nbytes / m.l2_bw
-                l1.insert(chunk, nbytes)
-            elif l3.touch(chunk):
-                ctr.l1_misses += lines
-                ctr.l2_misses += lines
-                ctr.l1_stall_cycles += lines * m.l1_lat_cycles
-                ctr.l2_stall_cycles += lines * m.l2_lat_cycles
-                ctr.bytes_l3 += nbytes
-                time += nbytes / m.l3_bw
-                l2.insert(chunk, nbytes)
-                l1.insert(chunk, nbytes)
+            if chunk in e1:
+                e1.move_to_end(chunk)
+                b1 += nbytes
+                time += nbytes / l1_bw
+                continue
+            lines = (nbytes + lb - 1) // lb
+            miss1 += lines
+            stall1 += lines * l1_lat
+            if chunk in e2:
+                e2.move_to_end(chunk)
+                b2 += nbytes
+                time += nbytes / l2_bw
+                if nbytes <= cap1:
+                    limit = cap1 - nbytes
+                    while used1 > limit and e1:
+                        used1 -= e1_pop(False)[1]
+                    e1[chunk] = nbytes
+                    used1 += nbytes
+                continue
+            miss2 += lines
+            stall2 += lines * l2_lat
+            if chunk in e3:
+                e3.move_to_end(chunk)
+                b3 += nbytes
+                time += nbytes / l3_bw
             else:
-                ctr.l1_misses += lines
-                ctr.l2_misses += lines
-                ctr.l3_misses += lines
-                ctr.l1_stall_cycles += lines * m.l1_lat_cycles
-                ctr.l2_stall_cycles += lines * m.l2_lat_cycles
-                ctr.l3_stall_cycles += lines * m.l3_lat_cycles
-                ctr.bytes_dram += nbytes
+                miss3 += lines
+                stall3 += lines * l3_lat
                 bytes_dram += nbytes
                 time += nbytes / eff_dram_bw
-                l3.insert(chunk, nbytes)
-                l2.insert(chunk, nbytes)
-                l1.insert(chunk, nbytes)
+                if nbytes <= cap3:
+                    limit = cap3 - nbytes
+                    while used3 > limit and e3:
+                        used3 -= e3_pop(False)[1]
+                    e3[chunk] = nbytes
+                    used3 += nbytes
+            if nbytes <= cap2:
+                limit = cap2 - nbytes
+                while used2 > limit and e2:
+                    used2 -= e2_pop(False)[1]
+                e2[chunk] = nbytes
+                used2 += nbytes
+            if nbytes <= cap1:
+                limit = cap1 - nbytes
+                while used1 > limit and e1:
+                    used1 -= e1_pop(False)[1]
+                e1[chunk] = nbytes
+                used1 += nbytes
+        l1._used = used1
+        l2._used = used2
+        l3._used = used3
+        ctr = self.counters
+        ctr.l1_misses += miss1
+        ctr.l2_misses += miss2
+        ctr.l3_misses += miss3
+        ctr.l1_stall_cycles += stall1
+        ctr.l2_stall_cycles += stall2
+        ctr.l3_stall_cycles += stall3
+        ctr.bytes_l1 += b1
+        ctr.bytes_l2 += b2
+        ctr.bytes_l3 += b3
+        ctr.bytes_dram += bytes_dram
         return AccessResult(time=time, bytes_dram=bytes_dram)
 
     # ------------------------------------------------------------------

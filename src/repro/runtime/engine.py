@@ -1,86 +1,10 @@
-"""Discrete-event simulation engine.
+"""Compatibility shim: the event queue moved to :mod:`repro.sim.events`.
 
-A single :class:`EventQueue` drives everything: worker threads, the producer
-thread, MPI request completion, and (in cluster mode) all simulated ranks at
-once.  Events at equal timestamps fire in insertion order (a monotonically
-increasing sequence number breaks ties), which makes runs deterministic.
+The discrete-event engine is now part of the shared simulation kernel
+(:mod:`repro.sim`) used by all three execution engines.  This module keeps
+the historical import path working.
 """
 
-from __future__ import annotations
+from repro.sim.events import EventQueue
 
-import heapq
-from typing import Any, Callable
-
-
-class EventQueue:
-    """A time-ordered queue of callbacks.
-
-    The queue *is* the simulation: handlers push further events; the run
-    ends when the queue drains.
-    """
-
-    __slots__ = ("_heap", "_seq", "_now", "_n_dispatched")
-
-    def __init__(self) -> None:
-        self._heap: list[tuple[float, int, Callable, tuple]] = []
-        self._seq = 0
-        self._now = 0.0
-        self._n_dispatched = 0
-
-    # ------------------------------------------------------------------
-    @property
-    def now(self) -> float:
-        """Current simulated time in seconds."""
-        return self._now
-
-    @property
-    def n_dispatched(self) -> int:
-        """Number of events dispatched so far (debug/metrics)."""
-        return self._n_dispatched
-
-    def __len__(self) -> int:
-        return len(self._heap)
-
-    # ------------------------------------------------------------------
-    def push(self, time: float, fn: Callable, *args: Any) -> None:
-        """Schedule ``fn(*args)`` at simulated ``time``.
-
-        Scheduling in the past is a simulator bug, not a recoverable
-        condition, so it raises.
-        """
-        if time < self._now:
-            raise ValueError(
-                f"cannot schedule event at {time} before current time {self._now}"
-            )
-        heapq.heappush(self._heap, (time, self._seq, fn, args))
-        self._seq += 1
-
-    def push_now(self, fn: Callable, *args: Any) -> None:
-        """Schedule ``fn(*args)`` at the current time (after pending ties)."""
-        self.push(self._now, fn, *args)
-
-    # ------------------------------------------------------------------
-    def step(self) -> bool:
-        """Dispatch the next event; return False when the queue is empty."""
-        if not self._heap:
-            return False
-        time, _, fn, args = heapq.heappop(self._heap)
-        self._now = time
-        self._n_dispatched += 1
-        fn(*args)
-        return True
-
-    def run(self, *, max_events: int | None = None) -> None:
-        """Run until the queue drains (or ``max_events`` dispatched)."""
-        if max_events is None:
-            while self.step():
-                pass
-            return
-        for _ in range(max_events):
-            if not self.step():
-                return
-        if self._heap:
-            raise RuntimeError(
-                f"event budget of {max_events} exhausted with {len(self._heap)} "
-                "events pending — likely a runaway simulation"
-            )
+__all__ = ["EventQueue"]

@@ -10,6 +10,11 @@ with ``#pragma omp parallel for`` and keep MPI outside OpenMP constructs
 - halo exchanges are posted after the full local computation and waited for
   before the next use — zero overlap;
 - the time-step collective is blocking at the iteration boundary.
+
+Like the tasking runtime, this engine runs on the :mod:`repro.sim` kernel:
+it shares a :class:`~repro.sim.SimContext` in cluster mode and emits
+``barrier`` (kind ``"loop"``), ``msg_post`` and ``msg_complete`` events on
+its :class:`~repro.sim.InstrumentationBus`.
 """
 
 from __future__ import annotations
@@ -27,9 +32,9 @@ if TYPE_CHECKING:  # pragma: no cover - circular at runtime
     from repro.mpi.comm import Communicator
     from repro.mpi.request import Request
 from repro.profiler.trace import CommRecord
-from repro.runtime.engine import EventQueue
 from repro.runtime.result import RunResult
 from repro.runtime.runtime import RuntimeConfig
+from repro.sim import EventQueue, InstrumentationBus, SimContext
 from repro.util.units import us
 
 
@@ -117,13 +122,21 @@ class ParallelForRuntime:
         config: RuntimeConfig,
         *,
         engine: Optional[EventQueue] = None,
+        ctx: Optional[SimContext] = None,
         comm: Optional[Communicator] = None,
         rank: int = 0,
+        bus: Optional[InstrumentationBus] = None,
     ) -> None:
         self.program = program
         self.config = config
+        if ctx is not None:
+            if engine is not None and engine is not ctx.engine:
+                raise ValueError("pass either engine or ctx, not conflicting both")
+            engine = ctx.engine
+        self.ctx = ctx
         self.engine = engine if engine is not None else EventQueue()
         self._own_engine = engine is None
+        self.bus = bus if bus is not None else InstrumentationBus()
         self.comm = comm
         self.rank = rank
         self.n_threads = config.threads
@@ -183,6 +196,10 @@ class ParallelForRuntime:
             # balanced chunks); the barrier is overhead.
             self.work += loop_time
             self.overhead += barrier
+            cbs = self.bus.barrier
+            if cbs:
+                for cb in cbs:
+                    cb("loop", now + loop_time)
             self.engine.push(now + loop_time + barrier, self._step)
             return
 
@@ -234,8 +251,19 @@ class ParallelForRuntime:
             iteration=self._iter_idx,
         )
         self.comm_records.append(rec)
-        req.on_complete(lambda r, rec=rec: setattr(rec, "complete_time", r.complete_time))
+        cbs = self.bus.msg_post
+        if cbs:
+            for cb in cbs:
+                cb(rec)
+        req.on_complete(lambda r, rec=rec: self._comm_complete(rec, r))
         return req
+
+    def _comm_complete(self, rec: CommRecord, req: "Request") -> None:
+        rec.complete_time = req.complete_time
+        cbs = self.bus.msg_complete
+        if cbs:
+            for cb in cbs:
+                cb(rec)
 
     # ------------------------------------------------------------------
     def result(self) -> RunResult:

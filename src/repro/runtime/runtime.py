@@ -7,6 +7,13 @@ overlap exactly as in the paper — the race between them is what produces
 edge pruning, discovery-bound idleness and the breadth-first degradation the
 paper analyses.
 
+The runtime runs on the :mod:`repro.sim` kernel: the TDG lives in a
+struct-of-arrays :class:`~repro.sim.table.TaskTable` and the hot path works
+in ``tid`` space (no per-task objects are materialized while simulating);
+observers — the task trace, communication metrics, memory sampling — attach
+to the :class:`~repro.sim.bus.InstrumentationBus` rather than being calls
+hard-wired into runtime logic.
+
 The simulator supports:
 
 - optimizations (a)/(b)/(c) through :class:`~repro.core.dependences.DependenceResolver`
@@ -22,7 +29,7 @@ The simulator supports:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -31,11 +38,10 @@ from repro.core.graph import TaskGraph
 from repro.core.optimizations import OptimizationSet
 from repro.core.persistent import PersistentRegion
 from repro.core.program import CommKind, CommSpec, Program, TaskSpec
-from repro.core.task import Task, TaskState
+from repro.core.task import split_footprint
 from repro.core.throttling import ThrottleConfig
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.machine import MachineSpec, skylake_8168
-from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - circular at runtime
     from repro.mpi.comm import Communicator
@@ -43,9 +49,14 @@ if TYPE_CHECKING:  # pragma: no cover - circular at runtime
 from repro.accel.accelerator import Accelerator, AcceleratorSpec
 from repro.profiler.trace import CommRecord, TaskTrace
 from repro.runtime.costs import DiscoveryCosts, SchedulerCosts
-from repro.runtime.engine import EventQueue
 from repro.runtime.result import RunResult
 from repro.runtime.scheduler import make_scheduler
+from repro.sim import EventQueue, InstrumentationBus, SimContext, TraceSubscriber
+
+# TaskState values as plain ints (the hot path compares ints, see
+# repro.sim.table).
+_CREATED, _READY, _RUNNING, _COMPLETED = 0, 1, 2, 3
+_NAN = float("nan")
 
 
 @dataclass(frozen=True)
@@ -103,12 +114,17 @@ class TaskRuntime:
 
         result = TaskRuntime(program, config).run()
 
-    Cluster use (all ranks share ``engine`` and ``comm``)::
+    Cluster use (all ranks share one :class:`~repro.sim.SimContext`)::
 
-        rt = TaskRuntime(program, config, engine=engine, comm=comm, rank=r)
+        rt = TaskRuntime(program, config, ctx=ctx, comm=comm, rank=r)
         rt.start()           # for each rank
-        engine.run()         # once
+        ctx.run()            # once
         result = rt.result() # for each rank
+
+    Observers attach to :attr:`bus` (see :mod:`repro.sim.bus` for the hook
+    catalogue).  Each runtime gets its own bus by default — in a coupled
+    run, per-rank observers stay per-rank; pass an explicit shared ``bus``
+    to observe several ranks' events interleaved in time order.
     """
 
     def __init__(
@@ -117,13 +133,21 @@ class TaskRuntime:
         config: RuntimeConfig,
         *,
         engine: Optional[EventQueue] = None,
-        comm: Optional[Communicator] = None,
+        ctx: Optional[SimContext] = None,
+        comm: Optional["Communicator"] = None,
         rank: int = 0,
+        bus: Optional[InstrumentationBus] = None,
     ) -> None:
         self.program = program
         self.config = config
+        if ctx is not None:
+            if engine is not None and engine is not ctx.engine:
+                raise ValueError("pass either engine or ctx, not conflicting both")
+            engine = ctx.engine
+        self.ctx = ctx
         self.engine = engine if engine is not None else EventQueue()
         self._own_engine = engine is None
+        self.bus = bus if bus is not None else InstrumentationBus()
         if comm is None:
             # Standalone runs still execute MPI tasks (e.g. the dt
             # Allreduce): give them a single-rank world.
@@ -148,10 +172,19 @@ class TaskRuntime:
 
         self._persistent_mode = config.opts.p and program.persistent_candidate
         self.graph = TaskGraph(persistent=self._persistent_mode)
-        self.resolver = DependenceResolver(self.graph, config.opts)
+        self.table = self.graph.table
+        self.resolver = DependenceResolver(self.table, config.opts)
+        if config.trace:
+            # Filter on our table: on a shared (cluster-wide) bus the
+            # per-rank trace must not absorb other ranks' task events.
+            self.bus.attach(TraceSubscriber(self.trace, table=self.table))
         self._region: Optional[PersistentRegion] = None
-        #: Tasks of the template iteration, 1:1 with its specs (persistent).
-        self._template_tasks: list[Task] = []
+        #: Template-iteration tids, 1:1 with its specs (persistent mode).
+        self._template_tids: list[int] = []
+        #: Per-spec normalized footprint cache.  Programs built by
+        #: ``Program.from_template`` share spec tuples across iterations,
+        #: so each spec's footprint is normalized exactly once per run.
+        self._spec_prep: dict[int, tuple] = {}
 
         # Producer cursor.
         self._iter_idx = 0
@@ -164,19 +197,20 @@ class TaskRuntime:
 
         # Thread state.  Thread 0 is the producer; it executes tasks only
         # when throttled or once discovery has finished.
-        self._busy = np.zeros(n, dtype=bool)
+        self._busy = [False] * n
         self._busy_count = 0
         self._idle_workers: set[int] = set(range(1, n))
         self._producer_free = False  # thread 0 available as a worker
 
-        # Accounting.
-        self.work = np.zeros(n)
-        self.overhead = np.zeros(n)
+        # Accounting (plain Python lists: element-wise accumulation on
+        # numpy arrays costs ~1µs per store at this scale).
+        self.work = [0.0] * n
+        self.overhead = [0.0] * n
         self.discovery_busy = 0.0
-        self._disc_first = float("nan")
-        self._disc_last = float("nan")
-        self._exec_first = float("nan")
-        self._exec_last = float("nan")
+        self._disc_first = _NAN
+        self._disc_last = _NAN
+        self._exec_first = _NAN
+        self._exec_last = _NAN
         self._last_activity = 0.0
         self._alive = 0
         self._iter_live = 0
@@ -185,7 +219,27 @@ class TaskRuntime:
         self._gate_closed = config.non_overlapped
         self._discovery_done = False
         self._started = False
-        self._finished_tasks_pending_detach = 0
+
+        # Hot-path constants.
+        sched = config.sched
+        self._c_pop = sched.c_pop
+        self._c_steal = sched.c_steal
+        self._c_contention = sched.c_contention
+        self._c_complete = sched.c_complete
+        self._c_release = sched.c_release
+        self._c_post = sched.c_post
+        self._flops_per_core = config.machine.flops_per_core
+        self._should_block = config.throttle.should_block
+        self._ready_cap = config.throttle.ready_cap
+        self._total_cap = config.throttle.total_cap
+        self._creation_cost = config.discovery.creation_cost
+        self._replay_cost = config.discovery.replay_cost
+        self._non_overlapped = config.non_overlapped
+        self._execute_bodies = config.execute_bodies
+        self._mem_access = self.memory.access
+        self._iterations = program.iterations
+        self._n_iterations = program.n_iterations
+        self._has_accel = self.accelerator is not None
 
     # ==================================================================
     # public API
@@ -224,8 +278,8 @@ class TaskRuntime:
             discovery_busy=self.discovery_busy,
             discovery_span=span(self._disc_first, self._disc_last),
             execution_span=span(self._exec_first, self._exec_last),
-            work=self.work.copy(),
-            overhead=self.overhead.copy(),
+            work=np.asarray(self.work, dtype=float),
+            overhead=np.asarray(self.overhead, dtype=float),
             n_tasks=self._n_completed_user,
             edges=self.graph.stats,
             mem=self.memory.counters,
@@ -277,11 +331,11 @@ class TaskRuntime:
                 return
 
         # All iterations submitted?
-        if self._iter_idx >= self.program.n_iterations:
+        if self._iter_idx >= self._n_iterations:
             self._finish_discovery()
             return
 
-        iteration = self.program.iterations[self._iter_idx]
+        iteration = self._iterations[self._iter_idx]
         if self._task_idx >= len(iteration.tasks):
             # End of one iteration's submissions.
             self._iter_idx += 1
@@ -302,14 +356,17 @@ class TaskRuntime:
         # Throttling: stop producing, consume instead (never in
         # non-overlapped mode, where workers are gated and consuming
         # ourselves forever would still be fine, but blocking would not).
-        if (
-            not self.config.non_overlapped
-            and self.config.throttle.should_block(self.scheduler.n_ready, self._alive)
-        ):
-            if self._consume_one("idle"):
-                return
-            self._producer_state = "throttled"
-            return  # completions will wake us
+        # Open-coded ThrottleConfig.should_block — per-submission hot path.
+        if not self._non_overlapped:
+            rc = self._ready_cap
+            tc = self._total_cap
+            if (rc is not None and self.scheduler.n_ready >= rc) or (
+                tc is not None and self._alive >= tc
+            ):
+                if self._consume_one("idle"):
+                    return
+                self._producer_state = "throttled"
+                return  # completions will wake us
 
         spec = iteration.tasks[self._task_idx]
         replaying = self._persistent_mode and self._region is not None
@@ -319,7 +376,7 @@ class TaskRuntime:
             # non-overlapped mode execution is gated until discovery ends,
             # so honouring the wait would deadlock — the marker is a no-op
             # (the mode already serializes discovery against execution).
-            if self.config.non_overlapped:
+            if self._non_overlapped:
                 self._task_idx += 1
                 self._producer_state = "idle"
                 self._schedule_producer()
@@ -328,41 +385,45 @@ class TaskRuntime:
                 # taskwait is a scheduling point too (see the barrier case).
                 self._consume_while_waiting("taskwait")
                 return
+            cbs = self.bus.barrier
+            if cbs:
+                for cb in cbs:
+                    cb("taskwait", now)
             self._task_idx += 1
             self._producer_state = "idle"
             self._schedule_producer()
             return
         self._task_idx += 1
         if replaying:
-            task = self._template_tasks[self._region_cursor]
+            tid = self._template_tids[self._region_cursor]
             self._region_cursor += 1
-            cost = self.config.discovery.replay_cost(spec)
+            cost = self._replay_cost(spec)
         else:
-            task = self.graph.new_task(
-                name=spec.name,
-                loop_id=spec.loop_id,
-                iteration=iteration.index,
-                flops=spec.flops,
-                footprint=spec.footprint,
-                fp_bytes=spec.fp_bytes,
-                comm=spec.comm,
-                body=spec.body,
+            tb = self.table
+            prep = self._spec_prep.get(id(spec))
+            if prep is None:
+                prep = self._spec_prep[id(spec)] = split_footprint(spec.footprint)
+            tid = tb.new_fast(
+                spec.name, spec.loop_id, iteration.index, spec.flops,
+                prep[0], prep[1], spec.fp_bytes, spec.comm, spec.body,
             )
-            task.priority = spec.priority
-            task.device = spec.device
-            res = self.resolver.resolve(task, spec.depends)
-            task.npred_initial = task.npred + task.presat
-            for stub in res.redirect_tasks:
+            if spec.priority:
+                tb.priority[tid] = True
+            if spec.device:
+                tb.device[tid] = True
+            res = self.resolver.resolve_tid(tid, spec.depends)
+            tb.npred_initial[tid] = tb.npred[tid] + tb.presat[tid]
+            for stub in res.redirect_tids:
                 self._arm_stub(stub)
             if self._persistent_mode:
-                self._template_tasks.append(task)
-            cost = self.config.discovery.creation_cost(spec, res)
+                self._template_tids.append(tid)
+            cost = self._creation_cost(spec, res)
 
         self.discovery_busy += cost
-        if np.isnan(self._disc_first):
+        if self._disc_first != self._disc_first:  # NaN: first creation
             self._disc_first = now
         self._producer_state = "creating"
-        self.engine.push(now + cost, self._task_armed, task, iteration.index, spec)
+        self.engine.push(now + cost, self._task_armed, tid, iteration.index, spec)
 
     def _consume_one(self, resume_state: str) -> bool:
         """Have the producer execute one ready task, then resume.
@@ -372,15 +433,15 @@ class TaskRuntime:
         after consuming, the state machine re-enters ``_producer_step`` and
         re-derives it (cursors were not advanced).
         """
-        task, source = self.scheduler.pop(0)
-        if task is None:
+        tid, source = self.scheduler.pop(0)
+        if tid is None:
             return False
         self._producer_state = "consuming"
         self._producer_resume_state = resume_state
         now = self.engine.now
         cost = self._pop_cost(source)
         self.overhead[0] += cost
-        self._begin_task(0, task, now + cost)
+        self._begin_task(0, tid, now + cost)
         return True
 
     def _consume_while_waiting(self, wait_state: str) -> None:
@@ -390,47 +451,50 @@ class TaskRuntime:
         self._producer_state = wait_state
         # Completions will re-schedule the producer.
 
-    def _arm_stub(self, stub: Task) -> None:
+    def _arm_stub(self, stub: int) -> None:
         """Stubs become live as soon as the resolver creates them."""
-        stub.armed = True
+        self.table.armed[stub] = True
         self._alive += 1
         self._iter_live += 1
-        if stub.npred == 0:
+        if self.table.npred[stub] == 0:
             # Every predecessor edge was pruned: the stub is trivially done.
             self._complete_task(stub, -1, self.engine.now)
 
-    def _task_armed(self, task: Task, iteration: int, spec: TaskSpec) -> None:
+    def _task_armed(self, tid: int, iteration: int, spec: TaskSpec) -> None:
         now = self.engine.now
         self._disc_last = now
-        self._last_activity = max(self._last_activity, now)
-        task.created_at = now
-        task.iteration = iteration
+        if now > self._last_activity:
+            self._last_activity = now
+        tb = self.table
+        tb.created_at[tid] = now
+        tb.iteration[tid] = iteration
         # Bodies are part of the firstprivate payload: they may change per
         # iteration (persistent replay updates them, §3.2).
-        task.body = spec.body
-        task.armed = True
+        tb.body[tid] = spec.body
+        tb.armed[tid] = True
         self._alive += 1
         self._iter_live += 1
-        if task.npred == 0 and task.state == TaskState.CREATED:
-            self._make_ready(task, -1)
+        if tb.npred[tid] == 0 and tb.state[tid] == _CREATED:
+            self._make_ready(tid, -1)
         self._producer_state = "idle"
-        self._producer_step_inline()
-
-    def _producer_step_inline(self) -> None:
-        """Continue producing without a queue round-trip when possible."""
         self._schedule_producer()
 
     def _end_persistent_iteration(self) -> None:
         """Implicit barrier reached: finalize or re-arm the persistent graph."""
+        cbs = self.bus.barrier
+        if cbs:
+            for cb in cbs:
+                cb("iteration", self.engine.now)
         if self._region is None:
             # First iteration just completed: freeze the region.  Note that
             # npred_initial was snapshotted at each task's resolution — at
             # this point every npred is back to 0.
             template_specs = list(self.program.iterations[0].tasks)
+            view = self.table.view
             self._region = PersistentRegion(
                 graph=self.graph,
                 template=template_specs,
-                user_tasks=self._template_tasks,
+                user_tasks=[view(t) for t in self._template_tids],
             )
         # Dropping resolver state at the barrier is what removes
         # inter-iteration edges (§3.3).
@@ -443,9 +507,11 @@ class TaskRuntime:
         self._region.rearm()
         self._region_cursor = 0
         # Stubs are re-armed wholesale; user tasks get walked by the producer.
-        for t in self.graph.tasks:
-            if t.is_stub:
-                t.armed = True
+        tb = self.table
+        armed = tb.armed
+        for tid, is_stub in enumerate(tb.is_stub):
+            if is_stub:
+                armed[tid] = True
                 self._alive += 1
                 self._iter_live += 1
         self._producer_state = "idle"
@@ -473,23 +539,36 @@ class TaskRuntime:
         contention term growing with the number of busy threads — the
         shared-TDG contention of §4.3.
         """
-        sched = self.config.sched
         if source == "local":
-            return sched.c_pop
-        base = sched.c_steal if source == "steal" else sched.c_pop
-        return base + sched.c_contention * self._busy_count
+            return self._c_pop
+        base = self._c_steal if source == "steal" else self._c_pop
+        return base + self._c_contention * self._busy_count
 
     def _wake_workers(self, k: int) -> None:
         """Schedule up to ``k`` idle workers to look for work now."""
         if self._gate_closed or k <= 0:
             return
-        woken = 0
-        for w in list(self._idle_workers):
-            if woken >= k:
-                break
-            self._idle_workers.discard(w)
-            self.engine.push_now(self._worker_try, w)
-            woken += 1
+        idle = self._idle_workers
+        if idle:
+            engine = self.engine
+            worker_try = self._worker_try
+            if k == 1:
+                # Overwhelmingly common case (one task readied): wake the
+                # first idle worker in iteration order, same as the batch
+                # path below would.
+                for w in idle:
+                    break
+                idle.discard(w)
+                engine.push(engine.now, worker_try, w)
+            else:
+                now = engine.now
+                batch = []
+                for w in list(idle):
+                    if len(batch) >= k:
+                        break
+                    idle.discard(w)
+                    batch.append((now, worker_try, (w,)))
+                engine.push_many(batch)
         # The throttled producer also consumes.
         if self._producer_state == "throttled":
             self._schedule_producer()
@@ -499,88 +578,98 @@ class TaskRuntime:
             return
         if w == 0 and not self._producer_free:
             return
-        task, source = self.scheduler.pop(w)
-        if task is None:
+        tid, source = self.scheduler.pop(w)
+        if tid is None:
             self._idle_workers.add(w)
             return
         now = self.engine.now
         cost = self._pop_cost(source)
         self.overhead[w] += cost
-        self._begin_task(w, task, now + cost)
+        self._begin_task(w, tid, now + cost)
 
-    def _begin_task(self, w: int, task: Task, t_start: float) -> None:
-        """Thread ``w`` starts executing ``task`` at ``t_start``."""
+    def _begin_task(self, w: int, tid: int, t_start: float) -> None:
+        """Thread ``w`` starts executing task ``tid`` at ``t_start``."""
         self._busy[w] = True
         self._busy_count += 1
-        task.state = TaskState.RUNNING
-        task.worker = w
-        task.started_at = t_start
-        if np.isnan(self._exec_first):
+        tb = self.table
+        tb.state[tid] = _RUNNING
+        tb.worker[tid] = w
+        tb.started_at[tid] = t_start
+        if self._exec_first != self._exec_first:  # NaN: first execution
             self._exec_first = t_start
-        if task.device and self.accelerator is not None:
+        cbs = self.bus.task_start
+        if cbs:
+            for cb in cbs:
+                cb(tb, tid, w, t_start)
+        if self._has_accel and tb.device[tid]:
             # The host worker only launches the kernel; the device timeline
             # completes the task (like a detached MPI request).
             launch = self.accelerator.spec.launch_overhead
             self.engine.push(
-                t_start + launch, self._finish_launch, w, task, t_start, launch
+                t_start + launch, self._finish_launch, w, tid, t_start, launch
             )
             return
-        m = self.config.machine
-        flop_time = task.flops / m.flops_per_core
-        mem = self.memory.access(w, task.footprint, dram_sharers=self._busy_count)
-        duration = flop_time + mem.time
-        if task.comm is not None:
-            duration += self.config.sched.c_post
-        self.engine.push(t_start + duration, self._finish_body, w, task, t_start, duration)
+        duration = tb.flops[tid] / self._flops_per_core
+        footprint = tb.footprint[tid]
+        if footprint:
+            duration += self._mem_access(w, footprint, self._busy_count).time
+        if tb.comm[tid] is not None:
+            duration += self._c_post
+        self.engine.push(t_start + duration, self._finish_body, w, tid, t_start, duration)
 
-    def _finish_body(self, w: int, task: Task, t_start: float, duration: float) -> None:
+    def _finish_body(self, w: int, tid: int, t_start: float, duration: float) -> None:
         now = self.engine.now
         self.work[w] += duration
-        self.trace.record(
-            task.tid, task.name, task.loop_id, task.iteration, w, t_start, now
-        )
+        tb = self.table
+        cbs = self.bus.task_end
+        if cbs:
+            for cb in cbs:
+                cb(tb, tid, w, t_start, now)
         self._busy[w] = False
         self._busy_count -= 1
 
-        spec = task.comm
+        spec = tb.comm[tid]
         if spec is not None:
-            req = self._post_comm(task, spec, now)
+            req = self._post_comm(tid, spec, now)
             if spec.detached:
-                task.detach_pending = True
-                req.on_complete(self._request_detach_done(task))
+                tb.detach_pending[tid] = True
+                req.on_complete(self._request_detach_done(tid))
                 self._after_worker_task(w, now)
                 return
             # Blocking wait inside the task: the worker stays parked (not
             # counted as a DRAM sharer — it is spinning in MPI_Wait).
             self._busy[w] = True
-            req.on_complete(self._request_blocking_done(task, w, wait_from=now))
+            req.on_complete(self._request_blocking_done(tid, w, wait_from=now))
             return
-        self._complete_task(task, w, now)
+        self._complete_task(tid, w, now)
         self._after_worker_task(w, now)
 
-    def _finish_launch(self, w: int, task: Task, t_start: float, launch: float) -> None:
+    def _finish_launch(self, w: int, tid: int, t_start: float, launch: float) -> None:
         """Host side of an offloaded task: free the worker, hand the kernel
         to the accelerator, and complete the task when the device does."""
         now = self.engine.now
         self.work[w] += launch
         self._busy[w] = False
         self._busy_count -= 1
-        task.detach_pending = True
+        tb = self.table
+        tb.detach_pending[tid] = True
 
-        def _kernel_done(finish: float, task=task, t_start=t_start) -> None:
-            task.detach_pending = False
-            self.trace.record(
-                task.tid, task.name, task.loop_id, task.iteration, -1, t_start, finish
-            )
-            self._complete_task(task, -1, self.engine.now)
+        def _kernel_done(finish: float, tid=tid, t_start=t_start) -> None:
+            tb.detach_pending[tid] = False
+            cbs = self.bus.task_end
+            if cbs:
+                for cb in cbs:
+                    cb(tb, tid, -1, t_start, finish)
+            self._complete_task(tid, -1, self.engine.now)
 
-        self.accelerator.submit(task, now, _kernel_done)
+        self.accelerator.submit(self.table.view(tid), now, _kernel_done)
         self._after_worker_task(w, now)
 
     def _after_worker_task(self, w: int, now: float) -> None:
-        c = self.config.sched.c_complete
+        c = self._c_complete
         self.overhead[w] += c
-        self._last_activity = max(self._last_activity, now + c)
+        if now + c > self._last_activity:
+            self._last_activity = now + c
         if w == 0 and self._producer_state == "consuming":
             # Return to whatever the producer was doing (discovering, or
             # re-checking a barrier/taskwait condition).
@@ -590,7 +679,7 @@ class TaskRuntime:
         self.engine.push(now + c, self._worker_try, w)
 
     # ------------------------------------------------------------------
-    def _post_comm(self, task: Task, spec: CommSpec, now: float) -> Request:
+    def _post_comm(self, tid: int, spec: CommSpec, now: float) -> "Request":
         if spec.kind == CommKind.ISEND:
             req = self.comm.isend(self.rank, spec.peer, spec.tag, spec.nbytes)
         elif spec.kind == CommKind.IRECV:
@@ -603,31 +692,42 @@ class TaskRuntime:
             peer=spec.peer,
             nbytes=spec.nbytes,
             post_time=now,
-            complete_time=float("nan"),
-            iteration=task.iteration,
+            complete_time=_NAN,
+            iteration=self.table.iteration[tid],
         )
         self.comm_records.append(rec)
-        req.on_complete(lambda r, rec=rec: setattr(rec, "complete_time", r.complete_time))
+        cbs = self.bus.msg_post
+        if cbs:
+            for cb in cbs:
+                cb(rec)
+        req.on_complete(lambda r, rec=rec: self._comm_complete(rec, r))
         return req
 
-    def _request_detach_done(self, task: Task):
-        def _cb(req: Request) -> None:
+    def _comm_complete(self, rec: CommRecord, req: "Request") -> None:
+        rec.complete_time = req.complete_time
+        cbs = self.bus.msg_complete
+        if cbs:
+            for cb in cbs:
+                cb(rec)
+
+    def _request_detach_done(self, tid: int):
+        def _cb(req: "Request") -> None:
             # The polling runtime notices completion at the next scheduling
             # point — model that as a fixed poll delay.
             self.engine.push(
                 max(req.complete_time, self.engine.now) + self.config.sched.c_poll,
                 self._detach_complete,
-                task,
+                tid,
             )
 
         return _cb
 
-    def _detach_complete(self, task: Task) -> None:
-        task.detach_pending = False
-        self._complete_task(task, -1, self.engine.now)
+    def _detach_complete(self, tid: int) -> None:
+        self.table.detach_pending[tid] = False
+        self._complete_task(tid, -1, self.engine.now)
 
-    def _request_blocking_done(self, task: Task, w: int, wait_from: float):
-        def _cb(req: Request) -> None:
+    def _request_blocking_done(self, tid: int, w: int, wait_from: float):
+        def _cb(req: "Request") -> None:
             t = max(req.complete_time, self.engine.now) + self.config.sched.c_poll
 
             def _resume() -> None:
@@ -636,7 +736,7 @@ class TaskRuntime:
                 # *work* under the §2.3.1 breakdown definitions.
                 self.work[w] += now - wait_from
                 self._busy[w] = False
-                self._complete_task(task, w, now)
+                self._complete_task(tid, w, now)
                 self._after_worker_task(w, now)
 
             self.engine.push(t, _resume)
@@ -646,41 +746,57 @@ class TaskRuntime:
     # ==================================================================
     # completion & readiness
     # ==================================================================
-    def _complete_task(self, task: Task, w: int, now: float) -> None:
-        if task.state == TaskState.COMPLETED:
-            raise RuntimeError(f"task {task.tid} completed twice")
-        if self.config.execute_bodies and task.body is not None:
-            task.body()
-        task.state = TaskState.COMPLETED
-        task.completed_at = now
-        self._last_activity = max(self._last_activity, now)
-        if not task.is_stub:
-            self._exec_last = now if np.isnan(self._exec_last) else max(self._exec_last, now)
+    def _complete_task(self, tid: int, w: int, now: float) -> None:
+        tb = self.table
+        state = tb.state
+        if state[tid] == _COMPLETED:
+            raise RuntimeError(f"task {tid} completed twice")
+        if self._execute_bodies:
+            body = tb.body[tid]
+            if body is not None:
+                body()
+        state[tid] = _COMPLETED
+        tb.completed_at[tid] = now
+        if now > self._last_activity:
+            self._last_activity = now
+        if not tb.is_stub[tid]:
+            if not self._exec_last >= now:  # NaN or smaller
+                self._exec_last = now
             self._n_completed_user += 1
         self._alive -= 1
         self._iter_live -= 1
+        succ_list = tb.succs[tid]
         if w >= 0:
-            self.overhead[w] += self.config.sched.c_release * len(task.successors)
+            self.overhead[w] += self._c_release * len(succ_list)
         n_ready_made = 0
-        for succ in task.successors:
-            self._n_released_edges += 1
-            succ.npred -= 1
-            if succ.npred == 0 and succ.armed and succ.state == TaskState.CREATED:
-                self._make_ready(succ, w)
-                n_ready_made += 1
+        if succ_list:
+            self._n_released_edges += len(succ_list)
+            npred = tb.npred
+            armed = tb.armed
+            for succ in succ_list:
+                remaining = npred[succ] - 1
+                npred[succ] = remaining
+                if remaining == 0 and armed[succ] and state[succ] == _CREATED:
+                    self._make_ready(succ, w)
+                    n_ready_made += 1
         if n_ready_made:
             self._wake_workers(n_ready_made)
         if self._producer_state in ("throttled", "barrier", "taskwait"):
             self._schedule_producer()
 
-    def _make_ready(self, task: Task, w: int) -> None:
-        task.state = TaskState.READY
-        if task.is_stub:
+    def _make_ready(self, tid: int, w: int) -> None:
+        tb = self.table
+        tb.state[tid] = _READY
+        cbs = self.bus.task_ready
+        if cbs:
+            for cb in cbs:
+                cb(tb, tid, self.engine.now)
+        if tb.is_stub[tid]:
             # Empty redirect node: completes in place, cascading releases.
-            self._complete_task(task, w, self.engine.now)
+            self._complete_task(tid, w, self.engine.now)
             return
         if w >= 0:
-            self.scheduler.push_local(w, task)
+            self.scheduler.push_local(w, tid, tb.priority[tid])
         else:
-            self.scheduler.push_spawn(task)
+            self.scheduler.push_spawn(tid, tb.priority[tid])
             self._wake_workers(1)

@@ -10,15 +10,19 @@ Two policies matter for the paper:
   bottom of a victim's deque.
 - **FIFO breadth-first**: one global FIFO — what execution effectively
   degrades to when the TDG discovery is too slow to expose successors.
+
+Schedulers are generic over the queued item: the task-based runtime queues
+plain ``tid`` ints (the struct-of-arrays hot path), tests and tools queue
+:class:`~repro.core.task.Task` views.  Priority routing is decided by the
+explicit ``priority`` keyword; when omitted it falls back to the item's
+``priority`` attribute (absent on ints — ordinary routing).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Optional
+from typing import Any, Optional
 
-
-from repro.core.task import Task
 from repro.util.rng import make_rng
 
 
@@ -43,9 +47,9 @@ class LifoDepthFirstScheduler:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         self.n_workers = n_workers
-        self._local: list[deque[Task]] = [deque() for _ in range(n_workers)]
-        self._spawn: deque[Task] = deque()
-        self._priority: deque[Task] = deque()
+        self._local: list[deque[Any]] = [deque() for _ in range(n_workers)]
+        self._spawn: deque[Any] = deque()
+        self._priority: deque[Any] = deque()
         self._n_ready = 0
         self._rng = make_rng(seed)
         self.stats = SchedulerStats()
@@ -55,25 +59,29 @@ class LifoDepthFirstScheduler:
     def n_ready(self) -> int:
         return self._n_ready
 
-    def push_local(self, worker: int, task: Task) -> None:
+    def push_local(self, worker: int, item: Any, priority: bool | None = None) -> None:
         """Push a successor readied by ``worker`` (depth-first placement)."""
-        if task.priority:
-            self._priority.append(task)
+        if priority is None:
+            priority = getattr(item, "priority", False)
+        if priority:
+            self._priority.append(item)
         else:
-            self._local[worker].append(task)
+            self._local[worker].append(item)
         self._n_ready += 1
 
-    def push_spawn(self, task: Task) -> None:
+    def push_spawn(self, item: Any, priority: bool | None = None) -> None:
         """Push a task readied by discovery or by MPI completion."""
-        if task.priority:
-            self._priority.append(task)
+        if priority is None:
+            priority = getattr(item, "priority", False)
+        if priority:
+            self._priority.append(item)
         else:
-            self._spawn.append(task)
+            self._spawn.append(item)
         self._n_ready += 1
 
     # ------------------------------------------------------------------
-    def pop(self, worker: int) -> tuple[Optional[Task], str]:
-        """Get work for ``worker``; returns ``(task, source)``.
+    def pop(self, worker: int) -> tuple[Optional[Any], str]:
+        """Get work for ``worker``; returns ``(item, source)``.
 
         Source is ``"local"``, ``"spawn"``, ``"steal"`` or ``"none"`` —
         the runtime charges different overheads per source.
@@ -117,20 +125,20 @@ class FifoBreadthFirstScheduler:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         self.n_workers = n_workers
-        self._queue: deque[Task] = deque()
+        self._queue: deque[Any] = deque()
         self.stats = SchedulerStats()
 
     @property
     def n_ready(self) -> int:
         return len(self._queue)
 
-    def push_local(self, worker: int, task: Task) -> None:
-        self._queue.append(task)
+    def push_local(self, worker: int, item: Any, priority: bool | None = None) -> None:
+        self._queue.append(item)
 
-    def push_spawn(self, task: Task) -> None:
-        self._queue.append(task)
+    def push_spawn(self, item: Any, priority: bool | None = None) -> None:
+        self._queue.append(item)
 
-    def pop(self, worker: int) -> tuple[Optional[Task], str]:
+    def pop(self, worker: int) -> tuple[Optional[Any], str]:
         if self._queue:
             self.stats.pops_spawn += 1
             return self._queue.popleft(), "spawn"

@@ -1,0 +1,44 @@
+"""`repro.sim` — the shared discrete-event simulation kernel.
+
+All three execution engines (:class:`~repro.runtime.runtime.TaskRuntime`,
+:class:`~repro.runtime.parallel_for.ParallelForRuntime` and
+:class:`~repro.cluster.cluster.Cluster`) run on this kernel:
+
+- :class:`EventQueue` — the time-ordered callback heap (deterministic
+  tie-breaking by insertion sequence);
+- :class:`SimContext` — one simulation timeline: event queue + clock +
+  seeded RNG, shared by every rank of a coupled run;
+- :class:`InstrumentationBus` — typed hook points (``task_ready``,
+  ``task_start``, ``task_end``, ``msg_post``, ``msg_complete``,
+  ``barrier``).  Profiling, communication metrics, Gantt recording and
+  memory-counter sampling subscribe to the bus instead of being calls
+  interleaved into runtime logic; an empty hook costs one attribute load
+  and a falsy check on the hot path;
+- :class:`TaskTable` — struct-of-arrays storage for the TDG hot path
+  (parallel columns for state, predecessor counts, cost fields; successor
+  lists flattenable to a CSR layout).  :class:`~repro.core.task.Task`
+  objects are thin views over table rows, kept for the public API and
+  :mod:`repro.verify`.
+"""
+
+from repro.sim.bus import InstrumentationBus
+from repro.sim.context import SimContext
+from repro.sim.events import EventQueue
+from repro.sim.subscribers import (
+    CommRecorder,
+    EventCounter,
+    MemorySampler,
+    TraceSubscriber,
+)
+from repro.sim.table import TaskTable
+
+__all__ = [
+    "CommRecorder",
+    "EventCounter",
+    "EventQueue",
+    "InstrumentationBus",
+    "MemorySampler",
+    "SimContext",
+    "TaskTable",
+    "TraceSubscriber",
+]

@@ -1,0 +1,128 @@
+"""Typed instrumentation hook points for the simulation kernel.
+
+The runtimes *emit*; observers *subscribe*.  Each hook is a plain attribute
+holding either ``None`` (no subscriber — the common case) or a tuple of
+callbacks, so the emit site in a hot loop is::
+
+    cbs = bus.task_end
+    if cbs:
+        for cb in cbs:
+            cb(table, tid, worker, t_start, t_end)
+
+One attribute load and a falsy check when nothing is attached — tracing
+costs nothing unless someone is listening.  Subscribers never influence the
+simulation: they receive read-only views of kernel state and the event
+queue is not exposed to them, which is what makes the bus behavior-neutral
+(the determinism suite locks this in).
+
+Hook signatures (``table`` is the emitting runtime's
+:class:`~repro.sim.table.TaskTable`, times are simulated seconds):
+
+===============  ======================================================
+``task_ready``   ``(table, tid, time)`` — predecessors satisfied
+``task_start``   ``(table, tid, worker, time)`` — body begins
+``task_end``     ``(table, tid, worker, t_start, t_end)`` — body done
+``msg_post``     ``(record)`` — an MPI request was posted
+                 (:class:`~repro.profiler.trace.CommRecord`, completion
+                 time still NaN)
+``msg_complete`` ``(record)`` — the same record, completion time filled
+``barrier``      ``(kind, time)`` — ``"taskwait"``, ``"iteration"`` or
+                 ``"loop"`` synchronization point reached
+===============  ======================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+#: Hook point names, in emit-frequency order.
+HOOKS = (
+    "task_ready",
+    "task_start",
+    "task_end",
+    "msg_post",
+    "msg_complete",
+    "barrier",
+)
+
+
+class InstrumentationBus:
+    """A set of hook points observers attach to.
+
+    Unknown hook names raise immediately — a typo'd subscription would
+    otherwise silently observe nothing.
+    """
+
+    __slots__ = HOOKS
+
+    def __init__(self) -> None:
+        for name in HOOKS:
+            setattr(self, name, None)
+
+    # ------------------------------------------------------------------
+    def subscribe(self, hook: str, fn: Callable) -> Callable:
+        """Attach ``fn`` to ``hook``; returns ``fn`` for unsubscribe."""
+        current = self._get(hook)
+        setattr(self, hook, (fn,) if current is None else current + (fn,))
+        return fn
+
+    def unsubscribe(self, hook: str, fn: Callable) -> None:
+        """Detach ``fn`` from ``hook`` (missing subscriptions are ignored).
+
+        Matches by equality, not identity: bound methods are re-created on
+        every attribute access, so the ``on_<hook>`` method :meth:`detach`
+        passes is never the same *object* that :meth:`attach` stored — but
+        it compares equal to it.
+        """
+        current = self._get(hook)
+        if not current:
+            return
+        remaining = tuple(cb for cb in current if cb != fn)
+        setattr(self, hook, remaining or None)
+
+    def attach(self, subscriber: object) -> object:
+        """Subscribe every ``on_<hook>`` method ``subscriber`` defines.
+
+        The conventional way to write an observer: a class with any subset
+        of ``on_task_ready`` / ``on_task_start`` / ``on_task_end`` /
+        ``on_msg_post`` / ``on_msg_complete`` / ``on_barrier`` methods.
+        Returns the subscriber, so ``bus.attach(Recorder())`` reads well.
+        """
+        found = False
+        for name in HOOKS:
+            fn = getattr(subscriber, f"on_{name}", None)
+            if fn is not None:
+                self.subscribe(name, fn)
+                found = True
+        if not found:
+            raise TypeError(
+                f"{type(subscriber).__name__} defines no on_<hook> method; "
+                f"hooks are {', '.join(HOOKS)}"
+            )
+        return subscriber
+
+    def detach(self, subscriber: object) -> None:
+        """Remove every hook subscription made by :meth:`attach`."""
+        for name in HOOKS:
+            fn = getattr(subscriber, f"on_{name}", None)
+            if fn is not None:
+                self.unsubscribe(name, fn)
+
+    # ------------------------------------------------------------------
+    def _get(self, hook: str):
+        if hook not in HOOKS:
+            raise ValueError(f"unknown hook {hook!r}; expected one of {HOOKS}")
+        return getattr(self, hook)
+
+    @property
+    def quiet(self) -> bool:
+        """True when no hook has any subscriber."""
+        return all(getattr(self, name) is None for name in HOOKS)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        active = {
+            name: len(getattr(self, name))
+            for name in HOOKS
+            if getattr(self, name) is not None
+        }
+        return f"InstrumentationBus({active or 'quiet'})"

@@ -1,0 +1,297 @@
+"""Struct-of-arrays task storage — the TDG hot path.
+
+Production runtimes store the TDG intrusively on task descriptors; at
+simulation scale the analogous Python design (one object per task, 25
+attribute slots) dominates the profile.  :class:`TaskTable` stores the same
+state as parallel columns (plain Python lists indexed by ``tid``): creating
+a task is a handful of appends, dependence bookkeeping is integer list
+arithmetic, and the simulated runtime never materializes an object per
+task.  :class:`~repro.core.task.Task` objects still exist — as cached thin
+views over one row each — for the public API, tests and
+:mod:`repro.verify`, which is the struct-of-arrays/object-view split of
+array-based runtimes (Álvarez et al., arXiv:2105.07902).
+
+Successor lists are per-row Python lists of ``tid`` while the graph is
+being discovered (edges arrive against arbitrary earlier rows, so a flat
+layout cannot be appended in order); :meth:`build_csr` flattens them into
+the classic ``(offsets, targets)`` compressed-sparse-row pair once a graph
+is frozen — the layout the persistent-replay loop and the analysis layer
+iterate.
+
+State values are stored as plain ints (``TaskState`` guarantees stable
+values); timestamps use NaN for "never".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.core.graph_stats import EdgeStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.task import Task
+
+#: Plain-int mirrors of :class:`repro.core.task.TaskState` (stable values).
+CREATED, READY, RUNNING, COMPLETED = 0, 1, 2, 3
+
+_NAN = float("nan")
+
+
+class TaskTable:
+    """Columnar task storage plus edge accounting for one TDG.
+
+    All columns are aligned: row ``tid`` across every list is one task.
+    The mutable scheduling state (``state``, ``npred``, ``armed``, ...)
+    and the immutable identity/cost fields live side by side, exactly as
+    they did on the per-task objects.
+    """
+
+    __slots__ = (
+        "name", "loop_id", "iteration", "flops", "footprint", "fp_modes",
+        "fp_bytes", "comm", "body",
+        "state", "npred", "presat", "npred_initial",
+        "succs", "last_succ",
+        "priority", "device", "is_stub", "armed", "detach_pending",
+        "created_at", "started_at", "completed_at", "worker",
+        "persistent", "prune_completed", "stats", "_views",
+    )
+
+    def __init__(self, *, persistent: bool = False, prune_completed: bool = True):
+        self.name: list[str] = []
+        self.loop_id: list[int] = []
+        self.iteration: list[int] = []
+        self.flops: list[float] = []
+        #: Normalized ``(chunk, bytes)`` 2-tuples (memory-model input).
+        self.footprint: list[tuple] = []
+        #: Aligned :class:`~repro.core.task.AccessMode` tuples.
+        self.fp_modes: list[tuple] = []
+        self.fp_bytes: list[int] = []
+        self.comm: list[object] = []
+        self.body: list[object] = []
+        self.state: list[int] = []
+        self.npred: list[int] = []
+        self.presat: list[int] = []
+        self.npred_initial: list[int] = []
+        #: Successor tids per row (flattened on demand by build_csr).
+        self.succs: list[list[int]] = []
+        #: Most recent successor an edge was created towards (-1: none).
+        #: Sequential submission makes duplicate-edge detection O(1).
+        self.last_succ: list[int] = []
+        self.priority: list[bool] = []
+        self.device: list[bool] = []
+        self.is_stub: list[bool] = []
+        self.armed: list[bool] = []
+        self.detach_pending: list[bool] = []
+        self.created_at: list[float] = []
+        self.started_at: list[float] = []
+        self.completed_at: list[float] = []
+        self.worker: list[int] = []
+        #: Persistent graphs must create every edge — pruning would lose
+        #: constraints needed by later iterations (§3.2).
+        self.persistent = persistent
+        self.prune_completed = prune_completed and not persistent
+        self.stats = EdgeStats()
+        self._views: list[Optional["Task"]] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def n_tasks(self) -> int:
+        return len(self.state)
+
+    def __len__(self) -> int:
+        return len(self.state)
+
+    # ------------------------------------------------------------------
+    def new(
+        self,
+        name: str = "",
+        *,
+        loop_id: int = -1,
+        iteration: int = 0,
+        flops: float = 0.0,
+        footprint=(),
+        fp_bytes: int = 0,
+        comm=None,
+        body=None,
+        is_stub: bool = False,
+    ) -> int:
+        """Allocate one task row; returns its ``tid``.
+
+        ``footprint`` accepts the mixed 2/3-tuple form of
+        :func:`repro.core.task.split_footprint`; hot paths that already
+        hold normalized chunks should use :meth:`new_fast`.
+        """
+        from repro.core.task import split_footprint
+
+        chunks, modes = split_footprint(footprint)
+        return self.new_fast(
+            name, loop_id, iteration, flops, chunks, modes,
+            fp_bytes, comm, body, is_stub,
+        )
+
+    def new_fast(
+        self,
+        name: str,
+        loop_id: int,
+        iteration: int,
+        flops: float,
+        chunks: tuple,
+        modes: tuple,
+        fp_bytes: int,
+        comm,
+        body,
+        is_stub: bool = False,
+    ) -> int:
+        """Positional fast path with pre-normalized footprint chunks."""
+        tid = len(self.state)
+        self.name.append(name)
+        self.loop_id.append(loop_id)
+        self.iteration.append(iteration)
+        self.flops.append(flops)
+        self.footprint.append(chunks)
+        self.fp_modes.append(modes)
+        self.fp_bytes.append(fp_bytes)
+        self.comm.append(comm)
+        self.body.append(body)
+        self.state.append(CREATED)
+        self.npred.append(0)
+        self.presat.append(0)
+        self.npred_initial.append(0)
+        self.succs.append([])
+        self.last_succ.append(-1)
+        self.priority.append(False)
+        self.device.append(False)
+        self.is_stub.append(is_stub)
+        self.armed.append(False)
+        self.detach_pending.append(False)
+        self.created_at.append(_NAN)
+        self.started_at.append(_NAN)
+        self.completed_at.append(_NAN)
+        self.worker.append(-1)
+        self._views.append(None)
+        return tid
+
+    def new_stub(self, name: str = "redirect") -> int:
+        """Allocate an empty redirect node (optimization (c))."""
+        tid = self.new_fast(name, -1, 0, 0.0, (), (), 0, None, None, True)
+        self.stats.redirect_nodes += 1
+        return tid
+
+    # ------------------------------------------------------------------
+    def add_edge(self, pred: int, succ: int, *, dedup: bool) -> bool:
+        """Record the precedence constraint ``pred -> succ``.
+
+        Returns True if an edge was materialized.  With ``dedup`` (opt (b))
+        a duplicate of the immediately preceding edge out of ``pred`` is
+        skipped in O(1) — sequential submission guarantees any duplicate
+        edge towards ``succ`` is adjacent in ``pred``'s creation order.
+        """
+        if pred == succ:
+            return False
+        stats = self.stats
+        if self.last_succ[pred] == succ:
+            if dedup:
+                stats.duplicates_skipped += 1
+                return False
+            stats.duplicates_created += 1
+        if self.state[pred] == COMPLETED:
+            if self.prune_completed:
+                # The predecessor was consumed before this task was
+                # discovered: no constraint is needed (and none can be
+                # expressed — the task descriptor may already be recycled).
+                stats.pruned += 1
+                return False
+            # Persistent graph: the edge must exist for future iterations,
+            # but it is already satisfied for the current one.
+            self.succs[pred].append(succ)
+            self.last_succ[pred] = succ
+            self.presat[succ] += 1
+            stats.created += 1
+            return True
+        self.succs[pred].append(succ)
+        self.last_succ[pred] = succ
+        self.npred[succ] += 1
+        stats.created += 1
+        return True
+
+    def iter_edges(self) -> Iterator[tuple[int, int]]:
+        """Yield materialized ``(pred, succ)`` tids (with multiplicity)."""
+        for pred, succ_list in enumerate(self.succs):
+            for succ in succ_list:
+                yield pred, succ
+
+    @property
+    def n_edges(self) -> int:
+        return self.stats.created
+
+    # ------------------------------------------------------------------
+    def build_csr(self) -> tuple[list[int], list[int]]:
+        """Flatten successor lists to a CSR ``(offsets, targets)`` pair.
+
+        ``targets[offsets[tid]:offsets[tid + 1]]`` are ``tid``'s successor
+        tids in edge-creation order.  Call once the graph is frozen (end
+        of discovery / persistent template complete); the flat layout is
+        what replay iterations and the analysis layer should walk.
+        """
+        offsets = [0] * (len(self.succs) + 1)
+        targets: list[int] = []
+        extend = targets.extend
+        total = 0
+        for tid, succ_list in enumerate(self.succs):
+            total += len(succ_list)
+            offsets[tid + 1] = total
+            extend(succ_list)
+        return offsets, targets
+
+    # ------------------------------------------------------------------
+    def reset_row_for_replay(self, tid: int) -> None:
+        """Re-arm one persistent task for the next iteration (§3.2)."""
+        self.state[tid] = CREATED
+        self.npred[tid] = self.npred_initial[tid]
+        self.started_at[tid] = _NAN
+        self.completed_at[tid] = _NAN
+        self.worker[tid] = -1
+        self.detach_pending[tid] = False
+        self.armed[tid] = False
+
+    def reset_for_replay(self) -> None:
+        """Re-arm every task for the next persistent iteration.
+
+        Only the dynamic execution state is cleared; the successor lists —
+        the expensive part of discovery — are kept, which is exactly the
+        saving the persistent TDG extension provides.
+        """
+        state = self.state
+        npred = self.npred
+        npred_initial = self.npred_initial
+        started = self.started_at
+        completed = self.completed_at
+        worker = self.worker
+        detach = self.detach_pending
+        armed = self.armed
+        for tid in range(len(state)):
+            state[tid] = CREATED
+            npred[tid] = npred_initial[tid]
+            started[tid] = _NAN
+            completed[tid] = _NAN
+            worker[tid] = -1
+            detach[tid] = False
+            armed[tid] = False
+
+    # ------------------------------------------------------------------
+    def view(self, tid: int) -> "Task":
+        """The cached :class:`~repro.core.task.Task` view of row ``tid``.
+
+        Views are created lazily and cached, so two calls return the same
+        object — identity comparisons over the public API keep working.
+        """
+        v = self._views[tid]
+        if v is None:
+            from repro.core.task import Task
+
+            v = self._views[tid] = Task._of(self, tid)
+        return v
+
+    def views(self) -> list["Task"]:
+        """All rows as views, in creation (tid) order."""
+        return [self.view(tid) for tid in range(len(self.state))]

@@ -3,6 +3,7 @@
 import math
 
 
+from repro.core.graph import TaskGraph
 from repro.core.task import DepMode, Task, TaskState
 
 
@@ -62,8 +63,9 @@ class TestReplayReset:
         assert math.isnan(t.completed_at)
 
     def test_reset_keeps_successors(self):
-        a, b = Task(0), Task(1)
-        a.successors.append(b)
+        g = TaskGraph()
+        a, b = g.new_task(), g.new_task()
+        g.add_edge(a, b, dedup=False)
         a.reset_for_replay()
         assert a.successors == [b]
 

@@ -1,0 +1,68 @@
+"""Unit tests for the instrumentation bus."""
+
+import pytest
+
+from repro.sim import InstrumentationBus
+from repro.sim.bus import HOOKS
+
+
+class TestSubscribe:
+    def test_empty_hooks_are_none(self):
+        bus = InstrumentationBus()
+        for name in HOOKS:
+            assert getattr(bus, name) is None
+        assert bus.quiet
+
+    def test_subscribe_builds_tuple(self):
+        bus = InstrumentationBus()
+        seen = []
+        bus.subscribe("task_end", seen.append)
+        assert bus.task_end == (seen.append,)
+        assert not bus.quiet
+
+    def test_emission_order_is_subscription_order(self):
+        bus = InstrumentationBus()
+        log = []
+        bus.subscribe("barrier", lambda kind, t: log.append("a"))
+        bus.subscribe("barrier", lambda kind, t: log.append("b"))
+        for cb in bus.barrier:
+            cb("taskwait", 0.0)
+        assert log == ["a", "b"]
+
+    def test_unsubscribe(self):
+        bus = InstrumentationBus()
+        fn = bus.subscribe("task_start", lambda *a: None)
+        bus.unsubscribe("task_start", fn)
+        assert bus.task_start is None
+        bus.unsubscribe("task_start", fn)  # idempotent
+
+    def test_unknown_hook_rejected(self):
+        bus = InstrumentationBus()
+        with pytest.raises(ValueError, match="unknown hook"):
+            bus.subscribe("task_done", lambda *a: None)
+
+
+class TestAttach:
+    def test_attach_binds_all_on_methods(self):
+        class Observer:
+            def __init__(self):
+                self.ends = []
+                self.barriers = []
+
+            def on_task_end(self, table, tid, worker, t0, t1):
+                self.ends.append(tid)
+
+            def on_barrier(self, kind, time):
+                self.barriers.append(kind)
+
+        bus = InstrumentationBus()
+        obs = bus.attach(Observer())
+        assert bus.task_end and bus.barrier
+        assert bus.task_ready is None
+        bus.detach(obs)
+        assert bus.quiet
+
+    def test_attach_without_hooks_rejected(self):
+        bus = InstrumentationBus()
+        with pytest.raises(TypeError, match="no on_<hook> method"):
+            bus.attach(object())

@@ -1,0 +1,30 @@
+"""Unit tests for SimContext."""
+
+from repro.sim import EventQueue, InstrumentationBus, SimContext
+
+
+class TestContext:
+    def test_defaults(self):
+        ctx = SimContext()
+        assert isinstance(ctx.engine, EventQueue)
+        assert isinstance(ctx.bus, InstrumentationBus)
+        assert ctx.now == 0.0
+
+    def test_joins_existing_engine(self):
+        q = EventQueue()
+        ctx = SimContext(q)
+        assert ctx.engine is q
+        q.push(2.5, lambda: None)
+        q.run()
+        assert ctx.now == 2.5
+
+    def test_rng_streams_are_deterministic(self):
+        a = SimContext(seed=3)
+        b = SimContext(seed=3)
+        assert a.rng_for(1).integers(1 << 30) == b.rng_for(1).integers(1 << 30)
+
+    def test_rng_streams_are_independent(self):
+        ctx = SimContext(seed=3)
+        draws0 = ctx.rng_for(0).integers(1 << 30, size=4)
+        draws1 = ctx.rng_for(1).integers(1 << 30, size=4)
+        assert list(draws0) != list(draws1)

@@ -1,0 +1,93 @@
+"""Unit tests for the `repro.sim` event queue (batch push, guards)."""
+
+import math
+
+import pytest
+
+from repro.sim import EventQueue
+
+
+class TestPushGuards:
+    def test_nan_time_rejected(self):
+        q = EventQueue()
+        with pytest.raises(ValueError, match="NaN"):
+            q.push(math.nan, lambda: None)
+
+    def test_past_time_rejected(self):
+        q = EventQueue()
+        q.push(5.0, lambda: None)
+        q.run()
+        with pytest.raises(ValueError, match="before current time"):
+            q.push(4.0, lambda: None)
+
+    def test_push_at_current_time_allowed(self):
+        q = EventQueue()
+        log = []
+        q.push(1.0, lambda: q.push(1.0, log.append, "same-time"))
+        q.run()
+        assert log == ["same-time"]
+
+
+class TestPushMany:
+    def test_batch_preserves_tie_break_order(self):
+        q = EventQueue()
+        log = []
+        q.push_many([(1.0, log.append, (i,)) for i in range(5)])
+        q.push(1.0, log.append, 5)  # later push loses the tie
+        q.run()
+        assert log == [0, 1, 2, 3, 4, 5]
+
+    def test_batch_interleaves_with_push_by_sequence(self):
+        q = EventQueue()
+        log = []
+        q.push(1.0, log.append, "a")
+        q.push_many([(1.0, log.append, ("b",)), (0.5, log.append, ("first",))])
+        q.run()
+        assert log == ["first", "a", "b"]
+
+    def test_batch_returns_count(self):
+        q = EventQueue()
+        assert q.push_many([(1.0, lambda: None, ())] * 3) == 3
+        assert q.push_many([]) == 0
+
+    def test_batch_nan_rejected_and_seq_consistent(self):
+        q = EventQueue()
+        log = []
+        with pytest.raises(ValueError, match="NaN"):
+            q.push_many([(1.0, log.append, ("kept",)),
+                         (math.nan, log.append, ("bad",))])
+        # The valid prefix was pushed; later pushes still tie-break after it.
+        q.push(1.0, log.append, "later")
+        q.run()
+        assert log == ["kept", "later"]
+
+
+class TestAccounting:
+    def test_n_dispatched_counts_all_events(self):
+        q = EventQueue()
+        for i in range(4):
+            q.push(float(i), lambda: None)
+        q.run()
+        assert q.n_dispatched == 4
+
+    def test_n_dispatched_written_back_on_callback_error(self):
+        q = EventQueue()
+        q.push(1.0, lambda: None)
+
+        def boom():
+            raise RuntimeError("boom")
+
+        q.push(2.0, boom)
+        with pytest.raises(RuntimeError, match="boom"):
+            q.run()
+        assert q.n_dispatched == 2
+
+    def test_max_events_budget_enforced(self):
+        q = EventQueue()
+
+        def respawn():
+            q.push(q.now + 1.0, respawn)
+
+        q.push(0.0, respawn)
+        with pytest.raises(RuntimeError, match="event budget"):
+            q.run(max_events=10)
