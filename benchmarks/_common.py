@@ -22,6 +22,8 @@ from repro.analysis.calibration import (
     scaled_skylake,
 )
 from repro.apps.lulesh import LuleshConfig
+from repro.campaign.spec import ExperimentSpec
+from repro.runtime.runtime import RuntimeConfig
 
 #: ``small`` (default, CI-sized) or ``large``.
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
@@ -58,10 +60,37 @@ class LuleshBench:
             flops_per_item=self.flops_per_item,
         )
 
+    def spec(
+        self, config: RuntimeConfig, *, tpl: int | None = None,
+        engine: str = "task", ranks: int = 1,
+    ) -> ExperimentSpec:
+        """The bench workload as an :class:`ExperimentSpec` (campaign API)."""
+        return ExperimentSpec(
+            app="lulesh",
+            config=config,
+            params={
+                "s": self.s,
+                "iterations": self.iterations,
+                "tpl": self.tpl_best if tpl is None else tpl,
+                "flops_per_item": self.flops_per_item,
+            },
+            engine=engine,
+            ranks=ranks,
+            seed=config.seed,
+        )
+
 
 LULESH = LuleshBench()
 
+#: Campaign knobs shared by the benchmark drivers: a persistent result
+#: cache directory makes re-runs (and the CI smoke pass) skip completed
+#: runs; REPRO_BENCH_JOBS>1 fans sweep points out over workers.
+BENCH_CACHE = os.environ.get("REPRO_BENCH_CACHE") or None
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
 __all__ = [
+    "BENCH_CACHE",
+    "BENCH_JOBS",
     "LARGE",
     "LULESH",
     "LuleshBench",

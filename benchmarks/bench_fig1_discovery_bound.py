@@ -12,25 +12,23 @@ parallel-for reference line; the crossover TPL.
 import sys
 
 sys.path.insert(0, "benchmarks")
-from _common import LULESH, scaled_llvm, scaled_mpc, scaled_skylake
+from _common import BENCH_CACHE, BENCH_JOBS, LULESH, scaled_llvm, scaled_mpc, scaled_skylake
 
-from repro.analysis.sweep import run_sweep
+from repro.analysis.sweep import run_spec_sweep
 from repro.analysis.tables import render_series, render_table
-from repro.apps.lulesh import build_for_program, build_task_program
-from repro.cluster import Cluster
+from repro.campaign.runner import run_experiment
 
 
 def fig1_experiment():
     machine = scaled_skylake()
-    sweep = run_sweep(
-        LULESH.tpls,
-        lambda tpl: build_task_program(LULESH.config(tpl), opt_a=False),
-        lambda tpl: scaled_llvm(machine, name="llvm"),
+    base = LULESH.spec(scaled_llvm(machine, name="llvm"))
+    sweep = run_spec_sweep(
+        base, LULESH.tpls, jobs=BENCH_JOBS, cache=BENCH_CACHE
     )
-    res_for = Cluster(1).run(
-        [build_for_program(LULESH.config(LULESH.tpls[0]))], [scaled_mpc(machine)]
+    res_for = run_experiment(
+        LULESH.spec(scaled_mpc(machine), tpl=LULESH.tpls[0], engine="forloop")
     )
-    return sweep, res_for.results[0].makespan
+    return sweep, res_for.makespan
 
 
 def test_fig1_discovery_bound(benchmark):

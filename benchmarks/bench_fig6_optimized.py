@@ -9,29 +9,26 @@ reaches 1,230s work for 82B L2DCM / 54B L3CM).
 import sys
 
 sys.path.insert(0, "benchmarks")
-from _common import LULESH, scaled_mpc, scaled_skylake
+from _common import BENCH_CACHE, BENCH_JOBS, LULESH, scaled_mpc, scaled_skylake
 
-from repro.analysis.sweep import run_sweep
+from repro.analysis.sweep import run_spec_sweep
 from repro.analysis.tables import render_series, render_table
-from repro.apps.lulesh import build_for_program, build_task_program
-from repro.cluster import Cluster
+from repro.campaign.runner import run_experiment
 
 
 def fig6_experiment():
     machine = scaled_skylake()
-    sweep_opt = run_sweep(
-        LULESH.tpls,
-        lambda tpl: build_task_program(LULESH.config(tpl), opt_a=True),
-        lambda tpl: scaled_mpc(machine, opts="abcp", name="mpc-opt"),
+    sweep_opt = run_spec_sweep(
+        LULESH.spec(scaled_mpc(machine, opts="abcp", name="mpc-opt")),
+        LULESH.tpls, jobs=BENCH_JOBS, cache=BENCH_CACHE,
     )
-    sweep_noopt = run_sweep(
-        LULESH.tpls,
-        lambda tpl: build_task_program(LULESH.config(tpl), opt_a=False),
-        lambda tpl: scaled_mpc(machine, opts="", name="mpc-noopt"),
+    sweep_noopt = run_spec_sweep(
+        LULESH.spec(scaled_mpc(machine, opts="", name="mpc-noopt")),
+        LULESH.tpls, jobs=BENCH_JOBS, cache=BENCH_CACHE,
     )
-    t_for = Cluster(1).run(
-        [build_for_program(LULESH.config(LULESH.tpls[0]))], [scaled_mpc(machine)]
-    ).results[0].makespan
+    t_for = run_experiment(
+        LULESH.spec(scaled_mpc(machine), tpl=LULESH.tpls[0], engine="forloop")
+    ).makespan
     return sweep_opt, sweep_noopt, t_for
 
 

@@ -12,11 +12,12 @@ Scaled: 8 ranks x 8 threads on the scaled Skylake.
 import sys
 
 sys.path.insert(0, "benchmarks")
-from _common import LARGE, scaled_mpc, scaled_skylake
+from _common import BENCH_CACHE, BENCH_JOBS, LARGE, scaled_mpc, scaled_skylake
 
-from repro.analysis.distributed import run_hpcg_cluster
 from repro.analysis.tables import render_table
-from repro.apps.hpcg import HpcgConfig
+from repro.campaign.engine import run_campaign
+from repro.campaign.runner import run_experiment
+from repro.campaign.spec import ExperimentSpec
 from repro.cluster import RankGrid
 from repro.mpi.network import bxi_like
 from repro.profiler import comm_metrics
@@ -28,27 +29,33 @@ ITERS = 8 if LARGE else 6
 THREADS = 8
 
 
-def hcfg(tpl):
-    return HpcgConfig(n_rows=N_ROWS, iterations=ITERS, tpl=tpl, spmv_sub=4)
+def hpcg_spec(tpl, *, engine="task", opts="abcp"):
+    config = scaled_mpc(
+        scaled_skylake(THREADS), opts=opts, n_threads=THREADS, trace=True
+    )
+    return ExperimentSpec(
+        app="hpcg",
+        config=config,
+        params={"n_rows": N_ROWS, "iterations": ITERS, "tpl": tpl, "spmv_sub": 4},
+        engine=engine,
+        ranks=GRID.n_ranks,
+        seed=config.seed,
+        network=bxi_like(),
+    )
 
 
 def fig9_experiment():
-    points = []
-    for tpl in TPLS:
-        res = run_hpcg_cluster(
-            GRID, hcfg(tpl), opts="abcp",
-            base_config=scaled_mpc(scaled_skylake(THREADS), opts="abcp", n_threads=THREADS),
-            network=bxi_like(),
-        )
-        pr = [r for r in res.results if r.extra.get("profiled")][0]
-        cm = comm_metrics(pr.comm, pr.trace, pr.n_threads)
-        points.append((tpl, res.makespan, pr, cm))
-    res_for = run_hpcg_cluster(
-        GRID, hcfg(TPLS[0]), task_based=False,
-        base_config=scaled_mpc(scaled_skylake(THREADS), n_threads=THREADS),
-        network=bxi_like(),
+    out = run_campaign(
+        [hpcg_spec(tpl) for tpl in TPLS], jobs=BENCH_JOBS, cache=BENCH_CACHE
     )
-    return points, res_for.makespan
+    assert out.ok, out.failures[0].error
+    points = []
+    for tpl, rec in zip(TPLS, out.records):
+        pr = rec.result
+        cm = comm_metrics(pr.comm, pr.trace, pr.n_threads)
+        points.append((tpl, pr.extra["cluster"]["makespan"], pr, cm))
+    res_for = run_experiment(hpcg_spec(TPLS[0], engine="forloop", opts="abc"))
+    return points, res_for.extra["cluster"]["makespan"]
 
 
 def test_fig9_hpcg(benchmark):

@@ -10,29 +10,32 @@ performance across all of them.
 import sys
 
 sys.path.insert(0, "benchmarks")
-from _common import LULESH, scaled_gcc, scaled_llvm, scaled_mpc, scaled_skylake
+from _common import (
+    BENCH_CACHE,
+    BENCH_JOBS,
+    LULESH,
+    scaled_gcc,
+    scaled_llvm,
+    scaled_mpc,
+    scaled_skylake,
+)
 
 from repro.analysis.metg import metg
-from repro.analysis.sweep import run_sweep
+from repro.analysis.sweep import run_spec_sweep
 from repro.analysis.tables import render_table
-from repro.apps.lulesh import build_task_program
 
 
 def metg_experiment():
     machine = scaled_skylake()
-    runtimes = {
-        "mpc-omp": (lambda tpl: scaled_mpc(machine, opts="abcp"), True),
-        "llvm": (lambda tpl: scaled_llvm(machine), False),
-        "gcc": (lambda tpl: scaled_gcc(machine), False),
+    bases = {
+        "mpc-omp": LULESH.spec(scaled_mpc(machine, opts="abcp")),
+        "llvm": LULESH.spec(scaled_llvm(machine)),
+        "gcc": LULESH.spec(scaled_gcc(machine)),
     }
-    sweeps = {}
-    for name, (cf, opt_a) in runtimes.items():
-        sweeps[name] = run_sweep(
-            LULESH.tpls,
-            lambda tpl, a=opt_a: build_task_program(LULESH.config(tpl), opt_a=a),
-            cf,
-        )
-    return sweeps
+    return {
+        name: run_spec_sweep(base, LULESH.tpls, jobs=BENCH_JOBS, cache=BENCH_CACHE)
+        for name, base in bases.items()
+    }
 
 
 def test_metg(benchmark):

@@ -18,7 +18,12 @@ studies on real hardware:
   TPL sweeps, scaling models;
 - :mod:`repro.verify` — DES-free static verification: race detection over
   declared footprints, depend-clause lint, persistence safety and
-  discovery-cost prediction (``python -m repro lint``).
+  discovery-cost prediction (``python -m repro lint``);
+- :mod:`repro.campaign` — the declarative experiment API: frozen
+  :class:`~repro.campaign.spec.ExperimentSpec` values, the single
+  :func:`~repro.campaign.runner.run_experiment` entrypoint, and
+  :func:`~repro.campaign.engine.run_campaign` — parallel, cached,
+  resumable experiment fan-out (``python -m repro campaign``).
 
 Quickstart::
 
@@ -66,6 +71,13 @@ from repro.analysis import (
     scaled_mpc,
     scaled_skylake,
 )
+from repro.campaign import (
+    CampaignResult,
+    ExperimentSpec,
+    ResultCache,
+    run_campaign,
+    run_experiment,
+)
 from repro.profiler import breakdown_of, comm_metrics, gantt_of
 from repro.verify import verify_program
 
@@ -103,6 +115,11 @@ __all__ = [
     "scaled_llvm",
     "scaled_mpc",
     "scaled_skylake",
+    "CampaignResult",
+    "ExperimentSpec",
+    "ResultCache",
+    "run_campaign",
+    "run_experiment",
     "breakdown_of",
     "comm_metrics",
     "gantt_of",

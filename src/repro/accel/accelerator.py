@@ -63,6 +63,18 @@ class AcceleratorSpec:
 
         return replace(self, launch_overhead=self.launch_overhead * factor)
 
+    def to_dict(self) -> dict:
+        """JSON-ready dict; inverse of :meth:`from_dict`."""
+        from repro.util.serde import flat_to_dict
+
+        return flat_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AcceleratorSpec":
+        from repro.util.serde import flat_from_dict
+
+        return flat_from_dict(cls, data)
+
 
 @dataclass(slots=True)
 class AccelStats:

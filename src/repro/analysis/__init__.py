@@ -10,8 +10,15 @@ from repro.analysis.calibration import (
     scaled_network,
     scaled_skylake,
 )
-from repro.analysis.sweep import Sweep, SweepPoint, geometric_tpls, run_sweep
-from repro.analysis.metg import MetgResult, metg
+from repro.analysis.sweep import (
+    Sweep,
+    SweepPoint,
+    geometric_tpls,
+    run_spec_sweep,
+    run_sweep,
+    sweep_specs,
+)
+from repro.analysis.metg import MetgResult, metg, run_metg_study
 from repro.analysis.scaling import (
     ScalingPoint,
     dynamic_tpl,
@@ -45,9 +52,12 @@ __all__ = [
     "Sweep",
     "SweepPoint",
     "geometric_tpls",
+    "run_spec_sweep",
     "run_sweep",
+    "sweep_specs",
     "MetgResult",
     "metg",
+    "run_metg_study",
     "ScalingPoint",
     "dynamic_tpl",
     "lulesh_scaling",

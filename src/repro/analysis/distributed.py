@@ -1,18 +1,66 @@
-"""Distributed LULESH/HPCG cluster-run helpers (Figs. 7, 8, 9)."""
+"""Distributed LULESH/HPCG cluster-run helpers (Figs. 7, 8, 9).
+
+.. deprecated::
+    Both helpers are thin shims over the spec-based API now: build an
+    :class:`~repro.campaign.spec.ExperimentSpec` with ``ranks > 1`` and
+    call :func:`~repro.campaign.runner.run_experiment_cluster` (all
+    ranks) or :func:`~repro.campaign.runner.run_experiment` (profiled
+    rank + cluster aggregates, cacheable by the campaign engine).
+"""
 
 from __future__ import annotations
 
-from dataclasses import replace
+import warnings
+from dataclasses import asdict, replace
 from typing import Optional
 
 from repro.analysis.calibration import scaled_epyc, scaled_mpc
 from repro.apps import hpcg as hpcg_app
 from repro.apps import lulesh as lulesh_app
-from repro.cluster.cluster import Cluster, ClusterResult
+from repro.campaign.runner import run_experiment_cluster
+from repro.campaign.spec import ExperimentSpec
+from repro.cluster.cluster import ClusterResult
 from repro.cluster.mapping import RankGrid
 from repro.core.optimizations import OptimizationSet
-from repro.mpi.network import NetworkSpec, bxi_like
+from repro.mpi.network import NetworkSpec
 from repro.runtime.runtime import RuntimeConfig
+
+
+def _cluster_shim(
+    app: str,
+    app_cfg,
+    grid: RankGrid,
+    *,
+    task_based: bool,
+    opts: OptimizationSet | str,
+    base_config: Optional[RuntimeConfig],
+    network: Optional[NetworkSpec],
+    profiled_rank: Optional[int],
+    n_threads: Optional[int],
+    default_machine=None,
+) -> ClusterResult:
+    if isinstance(opts, str):
+        opts = OptimizationSet.parse(opts)
+    if base_config is None:
+        if default_machine is not None:
+            base_config = scaled_mpc(default_machine, opts=opts, n_threads=n_threads)
+        else:
+            base_config = scaled_mpc(opts=opts, n_threads=n_threads)
+    else:
+        base_config = replace(base_config, opts=opts)
+    # The legacy contract always traces the profiled rank; the runner only
+    # traces it when the config opts in, so opt in here.
+    base_config = replace(base_config, trace=True)
+    spec = ExperimentSpec(
+        app=app,
+        config=base_config,
+        params=asdict(app_cfg),
+        engine="task" if task_based else "forloop",
+        ranks=grid.n_ranks,
+        seed=base_config.seed,
+        network=network,
+    )
+    return run_experiment_cluster(spec, grid=grid, profiled_rank=profiled_rank)
 
 
 def run_lulesh_cluster(
@@ -28,34 +76,28 @@ def run_lulesh_cluster(
 ) -> ClusterResult:
     """Run LULESH on every rank of ``grid`` (task-based or parallel-for).
 
-    Only ``profiled_rank`` (default: an interior rank, like the paper's
-    rank 82) records a full task trace, keeping memory bounded.
+    .. deprecated:: use ``run_experiment_cluster(ExperimentSpec(...))``.
     """
-    if isinstance(opts, str):
-        opts = OptimizationSet.parse(opts)
+    warnings.warn(
+        "run_lulesh_cluster is deprecated; build an ExperimentSpec and use "
+        "repro.campaign.run_experiment_cluster",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if profiled_rank is None:
         profiled_rank = grid.interior_rank()
-    if base_config is None:
-        base_config = scaled_mpc(scaled_epyc(), opts=opts, n_threads=n_threads)
-    else:
-        base_config = replace(base_config, opts=opts)
-
-    programs = []
-    configs = []
-    for r in range(grid.n_ranks):
-        nbs = grid.neighbors(r)
-        if task_based:
-            programs.append(
-                lulesh_app.build_task_program(cfg, opt_a=opts.a, neighbors=nbs)
-            )
-        else:
-            programs.append(lulesh_app.build_for_program(cfg, neighbors=nbs))
-        configs.append(replace(base_config, trace=(r == profiled_rank)))
-
-    cluster = Cluster(grid.n_ranks, network=network if network is not None else bxi_like())
-    out = cluster.run(programs, configs)
-    out.results[profiled_rank].extra["profiled"] = True
-    return out
+    return _cluster_shim(
+        "lulesh",
+        cfg,
+        grid,
+        task_based=task_based,
+        opts=opts,
+        base_config=base_config,
+        network=network,
+        profiled_rank=profiled_rank,
+        n_threads=n_threads,
+        default_machine=scaled_epyc(),
+    )
 
 
 def run_hpcg_cluster(
@@ -69,27 +111,26 @@ def run_hpcg_cluster(
     profiled_rank: Optional[int] = None,
     n_threads: Optional[int] = None,
 ) -> ClusterResult:
-    """Run HPCG on every rank of ``grid``."""
-    if isinstance(opts, str):
-        opts = OptimizationSet.parse(opts)
+    """Run HPCG on every rank of ``grid``.
+
+    .. deprecated:: use ``run_experiment_cluster(ExperimentSpec(...))``.
+    """
+    warnings.warn(
+        "run_hpcg_cluster is deprecated; build an ExperimentSpec and use "
+        "repro.campaign.run_experiment_cluster",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if profiled_rank is None:
         profiled_rank = grid.interior_rank()
-    if base_config is None:
-        base_config = scaled_mpc(opts=opts, n_threads=n_threads)
-    else:
-        base_config = replace(base_config, opts=opts)
-
-    programs = []
-    configs = []
-    for r in range(grid.n_ranks):
-        nbs = grid.neighbors(r)
-        if task_based:
-            programs.append(hpcg_app.build_task_program(cfg, neighbors=nbs))
-        else:
-            programs.append(hpcg_app.build_for_program(cfg, neighbors=nbs))
-        configs.append(replace(base_config, trace=(r == profiled_rank)))
-
-    cluster = Cluster(grid.n_ranks, network=network if network is not None else bxi_like())
-    out = cluster.run(programs, configs)
-    out.results[profiled_rank].extra["profiled"] = True
-    return out
+    return _cluster_shim(
+        "hpcg",
+        cfg,
+        grid,
+        task_based=task_based,
+        opts=opts,
+        base_config=base_config,
+        network=network,
+        profiled_rank=profiled_rank,
+        n_threads=n_threads,
+    )

@@ -10,9 +10,16 @@ the best OpenMP METG reported in Task Bench.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.analysis.sweep import Sweep
+
+if TYPE_CHECKING:  # pragma: no cover
+    from pathlib import Path
+    from typing import Union
+
+    from repro.campaign.cache import ResultCache
+    from repro.campaign.spec import ExperimentSpec
 
 
 @dataclass(frozen=True, slots=True)
@@ -66,3 +73,26 @@ def metg(
         else:
             out[name] = MetgResult(name, efficiency, None, None, best_total)
     return out
+
+
+def run_metg_study(
+    bases: "dict[str, ExperimentSpec]",
+    tpls: Sequence[int],
+    *,
+    efficiency: float = 0.95,
+    jobs: int = 1,
+    cache: "Union[ResultCache, str, Path, None]" = None,
+) -> dict[str, MetgResult]:
+    """Sweep every runtime's base spec over ``tpls`` and compute METG.
+
+    ``bases`` maps runtime labels (e.g. preset names) to base specs; each
+    is swept through the campaign engine (shared ``cache``/``jobs``), then
+    :func:`metg` scores them against the global best.
+    """
+    from repro.analysis.sweep import run_spec_sweep
+
+    sweeps = {
+        name: run_spec_sweep(base, tpls, jobs=jobs, cache=cache)
+        for name, base in bases.items()
+    }
+    return metg(sweeps, efficiency=efficiency)

@@ -15,16 +15,17 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Union
 
 from repro.analysis.calibration import scaled_epyc, scaled_mpc, scaled_network
 from repro.apps.lulesh.config import LuleshConfig
-from repro.apps.lulesh.forloop import build_for_program
-from repro.apps.lulesh.taskbased import build_task_program
-from repro.cluster.cluster import Cluster
+from repro.campaign.cache import ResultCache
+from repro.campaign.runner import run_experiment
+from repro.campaign.spec import ExperimentSpec
 from repro.core.optimizations import OptimizationSet
 from repro.mpi.network import NetworkSpec
-from repro.runtime.runtime import RuntimeConfig, TaskRuntime
+from repro.runtime.runtime import RuntimeConfig
 
 
 def dynamic_tpl(n_nodes: int, *, min_tpl: int = 16, nodes_per_task: int = 1024) -> int:
@@ -77,18 +78,34 @@ def lulesh_scaling(
     fixed_tpl: Optional[int] = None,
     overlap_ratio: float = 0.85,
     nodes_per_task: int = 1024,
+    cache: Union[ResultCache, str, Path, None] = None,
 ) -> list[ScalingPoint]:
     """Model Table 3's weak/strong rows.
 
     ``mode="weak"``: constant ``s_weak`` per rank.  ``mode="strong"``: the
     global ``s_strong_global``^3 mesh divided over ranks, with the dynamic
-    TPL rule.
+    TPL rule.  The inner single-rank DES probes go through
+    :func:`~repro.campaign.runner.run_experiment`; pass ``cache`` to skip
+    probes a previous study already ran (strong/weak studies share rows).
     """
     if mode not in ("weak", "strong"):
         raise ValueError(f"mode must be 'weak' or 'strong', got {mode!r}")
     if isinstance(opts, str):
         opts = OptimizationSet.parse(opts)
+    if isinstance(cache, (str, Path)):
+        cache = ResultCache(cache)
     net = network if network is not None else scaled_network()
+
+    def probe(spec: ExperimentSpec) -> float:
+        if cache is not None:
+            hit = cache.get(spec)
+            if hit is not None:
+                return hit.makespan
+        res = run_experiment(spec)
+        if cache is not None:
+            cache.put(spec, res)
+        return res.makespan
+
     points = []
     for p in rank_counts:
         side = round(p ** (1.0 / 3.0))
@@ -118,17 +135,27 @@ def lulesh_scaling(
         # removes the one-off first-iteration costs (full discovery for a
         # persistent graph, cold caches) that a 64+-iteration production
         # run amortizes away.
+        # The spec API derives everything from the config, so a
+        # config_factory config's opts govern both discovery and program
+        # building (legacy allowed them to differ; nothing used that).
+        run_cfg = rc
+
+        def _spec(engine: str, iters: int) -> ExperimentSpec:
+            return ExperimentSpec(
+                app="lulesh",
+                config=run_cfg,
+                params={"s": s_local, "iterations": iters, "tpl": tpl,
+                        "flops_per_item": flops_per_item},
+                engine=engine,
+                seed=run_cfg.seed,
+                network=net,
+            )
+
         def per_iter_task(iters: int) -> float:
-            c = LuleshConfig(s=s_local, iterations=iters, tpl=tpl,
-                             flops_per_item=flops_per_item)
-            return TaskRuntime(build_task_program(c, opt_a=opts.a), rc).run().makespan
+            return probe(_spec("task", iters))
 
         def per_iter_for(iters: int) -> float:
-            c = LuleshConfig(s=s_local, iterations=iters, tpl=tpl,
-                             flops_per_item=flops_per_item)
-            return Cluster(1, network=net).run(
-                [build_for_program(c)], [rc]
-            ).results[0].makespan
+            return probe(_spec("forloop", iters))
 
         n = sim_iterations
         local_task = (per_iter_task(2 * n) - per_iter_task(n)) / n

@@ -8,14 +8,23 @@ counters and work-time inflation.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 import numpy as np
 
 from repro.core.program import Program
 from repro.runtime.result import RunResult
 from repro.runtime.runtime import RuntimeConfig, TaskRuntime
+
+if TYPE_CHECKING:  # pragma: no cover
+    from pathlib import Path
+    from typing import Union
+
+    from repro.campaign.bus import CampaignBus
+    from repro.campaign.cache import ResultCache
+    from repro.campaign.spec import ExperimentSpec
 
 
 @dataclass
@@ -103,12 +112,67 @@ class Sweep:
         return None
 
 
+def sweep_specs(
+    base: "ExperimentSpec", tpls: Sequence[int], *, param: str = "tpl"
+) -> "list[ExperimentSpec]":
+    """Expand a base spec into one spec per TPL value (``param`` override)."""
+    return [base.with_params(**{param: int(t)}) for t in tpls]
+
+
+def run_spec_sweep(
+    base: "ExperimentSpec",
+    tpls: Sequence[int],
+    *,
+    param: str = "tpl",
+    jobs: int = 1,
+    cache: "Union[ResultCache, str, Path, None]" = None,
+    timeout: Optional[float] = None,
+    bus: "Optional[CampaignBus]" = None,
+    progress: bool = False,
+) -> Sweep:
+    """Run a TPL sweep through the campaign engine.
+
+    This is the spec-based successor to :func:`run_sweep`: the workload,
+    runtime config, engine and rank count all come from ``base``, each
+    point only overrides the ``param`` app parameter.  ``jobs``/``cache``
+    fan the points out and skip ones already cached.
+    """
+    from repro.campaign.engine import run_campaign
+
+    specs = sweep_specs(base, tpls, param=param)
+    out = run_campaign(
+        specs, jobs=jobs, cache=cache, timeout=timeout, bus=bus, progress=progress
+    )
+    if not out.ok:
+        bad = out.failures[0]
+        raise RuntimeError(
+            f"sweep point {bad.spec.label} failed:\n{bad.error}"
+        )
+    return Sweep(
+        [
+            SweepPoint(tpl=int(t), result=rec.result)
+            for t, rec in zip(tpls, out.records)
+        ]
+    )
+
+
 def run_sweep(
     tpls: Sequence[int],
     program_factory: Callable[[int], Program],
     config_factory: Callable[[int], RuntimeConfig],
 ) -> Sweep:
-    """Run one simulation per TPL value."""
+    """Run one simulation per TPL value.
+
+    .. deprecated::
+        Factory-based sweeps predate :class:`~repro.campaign.spec.ExperimentSpec`;
+        use :func:`run_spec_sweep`, which adds caching and parallel fan-out.
+    """
+    warnings.warn(
+        "run_sweep(program_factory, config_factory) is deprecated; "
+        "use repro.analysis.sweep.run_spec_sweep(base_spec, tpls)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     points = []
     for tpl in tpls:
         prog = program_factory(tpl)

@@ -1,0 +1,48 @@
+"""repro.campaign — declarative experiment specs and the fan-out engine.
+
+The public experiment API:
+
+- :class:`ExperimentSpec` — a frozen, hashable, JSON-round-trippable
+  description of one run (app + params + config + engine + ranks + seed
+  + scale + network).
+- :func:`run_experiment` — the single entrypoint executing one spec.
+- :func:`run_campaign` — execute a list of specs across worker processes
+  with a content-addressed :class:`ResultCache`, resumability, per-run
+  timeout, retry-once robustness and :class:`CampaignBus` progress events.
+"""
+
+from repro.campaign.bus import CampaignBus, ProgressPrinter
+from repro.campaign.cache import CACHE_FORMAT, ResultCache
+from repro.campaign.engine import CampaignResult, RunRecord, run_campaign
+from repro.campaign.runner import (
+    build_programs,
+    derive_config,
+    run_experiment,
+    run_experiment_cluster,
+)
+from repro.campaign.spec import (
+    APPS,
+    ENGINES,
+    ExperimentSpec,
+    dump_specs,
+    load_specs,
+)
+
+__all__ = [
+    "APPS",
+    "CACHE_FORMAT",
+    "CampaignBus",
+    "CampaignResult",
+    "ENGINES",
+    "ExperimentSpec",
+    "ProgressPrinter",
+    "ResultCache",
+    "RunRecord",
+    "build_programs",
+    "derive_config",
+    "dump_specs",
+    "load_specs",
+    "run_campaign",
+    "run_experiment",
+    "run_experiment_cluster",
+]

@@ -1,0 +1,82 @@
+"""Campaign instrumentation: live progress over the bus idiom.
+
+Same pattern as the simulation kernel's
+:class:`~repro.sim.bus.InstrumentationBus` — the engine *emits*, observers
+*subscribe*, and an empty hook costs one attribute load.  Hook signatures
+(``index`` is the spec's position in the submitted list):
+
+==================  ====================================================
+``run_start``       ``(index, spec, attempt)`` — a run was dispatched
+``run_done``        ``(index, spec, result, wall)`` — run executed
+``run_cached``      ``(index, spec, result)`` — cache hit, run skipped
+``run_retry``       ``(index, spec, attempt, reason)`` — worker died or
+                    timed out; the run will be retried
+``run_failed``      ``(index, spec, error)`` — run gave up
+``campaign_done``   ``(result)`` — the full
+                    :class:`~repro.campaign.engine.CampaignResult`
+==================  ====================================================
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import TextIO
+
+from repro.sim.bus import HookBus
+
+HOOKS = (
+    "run_start",
+    "run_done",
+    "run_cached",
+    "run_retry",
+    "run_failed",
+    "campaign_done",
+)
+
+
+class CampaignBus(HookBus):
+    """Hook points for campaign progress observers."""
+
+    __slots__ = HOOKS
+    HOOKS = HOOKS
+
+
+class ProgressPrinter:
+    """Default observer: one line per event, campaign summary at the end."""
+
+    def __init__(self, n_total: int, *, stream: TextIO = sys.stderr) -> None:
+        self.n_total = n_total
+        self.stream = stream
+        self._done = 0
+
+    def _line(self, tag: str, spec, detail: str = "") -> None:
+        self._done += 1
+        print(
+            f"[{self._done}/{self.n_total}] {tag:>6} {spec.label}"
+            + (f" {detail}" if detail else ""),
+            file=self.stream,
+            flush=True,
+        )
+
+    # ------------------------------------------------------------------
+    def on_run_done(self, index, spec, result, wall) -> None:
+        self._line("run", spec, f"makespan={result.makespan:.6f}s wall={wall:.2f}s")
+
+    def on_run_cached(self, index, spec, result) -> None:
+        self._line("cached", spec)
+
+    def on_run_retry(self, index, spec, attempt, reason) -> None:
+        # Retries do not advance the done counter.
+        print(
+            f"[{self._done}/{self.n_total}] retry  {spec.label} "
+            f"(attempt {attempt}: {reason})",
+            file=self.stream,
+            flush=True,
+        )
+
+    def on_run_failed(self, index, spec, error) -> None:
+        first = error.strip().splitlines()[-1] if error.strip() else "unknown error"
+        self._line("FAILED", spec, first)
+
+    def on_campaign_done(self, result) -> None:
+        print(result.summary(), file=self.stream, flush=True)

@@ -1,0 +1,125 @@
+"""Content-addressed on-disk result cache.
+
+The cache key is the spec's content hash (sha256 of canonical JSON), so a
+hit means "this exact experiment already ran" — any change to the app
+parameters, the runtime config, the seed, the scale or the network yields
+a different key and re-executes exactly the changed runs.  Entries are
+single JSON files written atomically (temp file + ``os.replace``), which
+makes the cache safe under concurrent writers (the campaign worker pool)
+and makes an interrupted campaign resumable: re-launching with the same
+specs completes only the missing keys.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.campaign.spec import ExperimentSpec
+from repro.runtime.result import RunResult
+from repro.util.serde import canonical_json
+
+#: On-disk format version; bump when the result schema changes shape so
+#: stale entries miss instead of deserializing wrongly.
+CACHE_FORMAT = 1
+
+
+class ResultCache:
+    """A directory of ``<key>.json`` entries, sharded by key prefix."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        """Entry path for a spec key (two-level fan-out, git-object style)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def error_path_for(self, key: str) -> Path:
+        """Where a worker records the traceback of a failed run."""
+        return self.root / key[:2] / f"{key}.err"
+
+    def contains(self, spec: ExperimentSpec) -> bool:
+        return self.path_for(spec.key).is_file()
+
+    # ------------------------------------------------------------------
+    def get(self, spec: ExperimentSpec) -> Optional[RunResult]:
+        """The cached result for ``spec``, or None on miss/stale format."""
+        path = self.path_for(spec.key)
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if doc.get("format") != CACHE_FORMAT or doc.get("key") != spec.key:
+            return None
+        return RunResult.from_dict(doc["result"])
+
+    def put(self, spec: ExperimentSpec, result: RunResult) -> Path:
+        """Store ``result`` under the spec's key, atomically."""
+        path = self.path_for(spec.key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = canonical_json(
+            {
+                "format": CACHE_FORMAT,
+                "key": spec.key,
+                "spec": spec.to_dict(),
+                "result": result.to_dict(),
+            }
+        )
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{spec.key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(doc)
+                fh.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        # A fresh success supersedes any stale failure record.
+        try:
+            os.unlink(self.error_path_for(spec.key))
+        except OSError:
+            pass
+        return path
+
+    # ------------------------------------------------------------------
+    def put_error(self, spec: ExperimentSpec, message: str) -> Path:
+        """Record a failure (worker traceback) next to where the entry
+        would live; errors never satisfy :meth:`get`."""
+        path = self.error_path_for(spec.key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(message)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def get_error(self, spec: ExperimentSpec) -> Optional[str]:
+        try:
+            return self.error_path_for(spec.key).read_text()
+        except OSError:
+            return None
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def keys(self) -> list[str]:
+        """Sorted keys of every stored entry."""
+        return sorted(p.stem for p in self.root.glob("*/*.json"))

@@ -4,9 +4,16 @@ Gives shell access to the main experiment flows:
 
 - ``lulesh`` / ``hpcg`` / ``cholesky`` — run one workload configuration and
   print the §2.3.1 breakdown (plus communication metrics for cluster runs);
-- ``sweep`` — a LULESH TPL sweep with the Fig-1-style curves;
+- ``sweep`` — a LULESH TPL sweep with the Fig-1-style curves
+  (``--jobs N`` fans the points out over worker processes);
+- ``campaign`` — execute a JSON spec file of experiment runs through the
+  cached, resumable campaign engine;
 - ``validate`` — the three numeric end-to-end validations;
 - ``info`` — machine/network/cost-model presets.
+
+Every run command builds an :class:`~repro.campaign.spec.ExperimentSpec`
+and goes through :func:`~repro.campaign.runner.run_experiment` — the
+same entrypoint the campaign engine, the sweeps and the benchmarks use.
 """
 
 from __future__ import annotations
@@ -18,13 +25,14 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.analysis.calibration import scale_costs, scaled_epyc, scaled_skylake
-from repro.analysis.sweep import geometric_tpls, run_sweep
+from repro.analysis.sweep import geometric_tpls, run_spec_sweep
 from repro.analysis.tables import render_series, render_table
+from repro.campaign.runner import run_experiment, run_experiment_cluster
+from repro.campaign.spec import ExperimentSpec
 from repro.core.optimizations import OptimizationSet
 from repro.profiler.breakdown import breakdown_of
 from repro.profiler.comm_metrics import comm_metrics
 from repro.runtime import presets
-from repro.runtime.runtime import TaskRuntime
 
 
 def _machine(name: str, n_threads: Optional[int]):
@@ -65,55 +73,59 @@ def _add_runtime_args(p: argparse.ArgumentParser) -> None:
 
 
 def cmd_lulesh(args) -> int:
-    from repro.analysis.distributed import run_lulesh_cluster
-    from repro.apps.lulesh import LuleshConfig, build_task_program
-    from repro.cluster import RankGrid
-
-    lcfg = LuleshConfig(s=args.s, iterations=args.i, tpl=args.tpl,
-                        flops_per_item=args.flops)
+    params = {"s": args.s, "iterations": args.i, "tpl": args.tpl,
+              "flops_per_item": args.flops}
+    config = _config(args)
     if args.ranks > 1:
-        grid = RankGrid.cubic(args.ranks)
-        res = run_lulesh_cluster(
-            grid, lcfg, opts=args.opts, n_threads=args.threads,
-            base_config=_config(args),
+        from dataclasses import replace
+
+        spec = ExperimentSpec(
+            app="lulesh",
+            config=replace(config, trace=True),
+            params=params,
+            ranks=args.ranks,
+            seed=config.seed,
         )
+        res = run_experiment_cluster(spec)
         pr = [r for r in res.results if r.extra.get("profiled")][0]
         print(f"cluster makespan: {res.makespan:.6f}s over {args.ranks} ranks")
         print(breakdown_of(pr))
         print("profiled rank comm:", comm_metrics(pr.comm, pr.trace, pr.n_threads))
         return 0
-    prog = build_task_program(
-        lcfg, opt_a=OptimizationSet.parse(args.opts).a, offload=args.offload
-    )
-    config = _config(args)
     if args.offload:
         from dataclasses import replace
 
         from repro.accel import AcceleratorSpec
 
+        params["offload"] = True
         config = replace(
             config, accelerator=AcceleratorSpec().scaled(args.cost_scale)
         )
-    rt = TaskRuntime(prog, config)
-    r = rt.run()
+    spec = ExperimentSpec(
+        app="lulesh", config=config, params=params, seed=config.seed
+    )
+    r = run_experiment(spec)
     print(breakdown_of(r))
     print(f"tasks={r.n_tasks} edges={r.edges.created} "
           f"pruned={r.edges.pruned} dup-skipped={r.edges.duplicates_skipped}")
-    if rt.accelerator is not None:
-        st = rt.accelerator.stats
-        print(f"accelerator: {st.kernels} kernels, "
-              f"{100 * rt.accelerator.utilization(r.makespan):.0f}% stream "
-              f"utilization, {st.h2d_bytes / 1e6:.1f} MB H2D")
+    accel = r.extra.get("accelerator")
+    if accel is not None:
+        print(f"accelerator: {accel['kernels']} kernels, "
+              f"{100 * accel['utilization']:.0f}% stream "
+              f"utilization, {accel['h2d_bytes'] / 1e6:.1f} MB H2D")
     return 0
 
 
 def cmd_hpcg(args) -> int:
-    from repro.apps.hpcg import HpcgConfig, build_task_program
-
-    hcfg = HpcgConfig(n_rows=args.rows, iterations=args.i, tpl=args.tpl,
-                      spmv_sub=args.spmv_sub)
-    prog = build_task_program(hcfg)
-    r = TaskRuntime(prog, _config(args)).run()
+    config = _config(args)
+    spec = ExperimentSpec(
+        app="hpcg",
+        config=config,
+        params={"n_rows": args.rows, "iterations": args.i, "tpl": args.tpl,
+                "spmv_sub": args.spmv_sub},
+        seed=config.seed,
+    )
+    r = run_experiment(spec)
     print(breakdown_of(r))
     print(f"tasks={r.n_tasks} edges={r.edges.created} "
           f"grain={r.work_per_task * 1e6:.1f}us")
@@ -121,11 +133,17 @@ def cmd_hpcg(args) -> int:
 
 
 def cmd_cholesky(args) -> int:
-    from repro.apps.cholesky import CholeskyConfig, build_task_programs
+    from repro.apps.cholesky import CholeskyConfig
 
+    config = _config(args)
+    spec = ExperimentSpec(
+        app="cholesky",
+        config=config,
+        params={"n": args.n, "b": args.b, "iterations": args.i},
+        seed=config.seed,
+    )
+    r = run_experiment(spec)
     ccfg = CholeskyConfig(n=args.n, b=args.b, iterations=args.i)
-    prog = build_task_programs(ccfg)[0]
-    r = TaskRuntime(prog, _config(args)).run()
     print(breakdown_of(r))
     print(f"tasks={r.n_tasks} ({ccfg.n_tasks_one_factorization()} per "
           f"factorization), discovery {r.discovery_busy * 1e3:.3f}ms")
@@ -133,18 +151,21 @@ def cmd_cholesky(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    from repro.apps.lulesh import LuleshConfig, build_task_program
-
+    config = _config(args)
     tpls = geometric_tpls(args.tpl_min, args.tpl_max, args.points)
-    opt_a = OptimizationSet.parse(args.opts).a
-    sweep = run_sweep(
+    base = ExperimentSpec(
+        app="lulesh",
+        config=config,
+        params={"s": args.s, "iterations": args.i, "tpl": tpls[0],
+                "flops_per_item": args.flops},
+        seed=config.seed,
+    )
+    sweep = run_spec_sweep(
+        base,
         tpls,
-        lambda tpl: build_task_program(
-            LuleshConfig(s=args.s, iterations=args.i, tpl=tpl,
-                         flops_per_item=args.flops),
-            opt_a=opt_a,
-        ),
-        lambda tpl: _config(args),
+        jobs=args.jobs,
+        cache=args.cache_dir,
+        progress=args.jobs > 1,
     )
     rows = [
         [p.tpl, f"{p.total * 1e3:.3f}", f"{p.execution * 1e3:.3f}",
@@ -166,12 +187,74 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+_EXAMPLE_CAMPAIGN = """\
+A campaign spec file is a JSON list of experiment specs (or an object
+with a "specs" list).  Generate one programmatically:
+
+    from repro.campaign import ExperimentSpec, dump_specs
+    from repro.runtime import presets
+    base = ExperimentSpec(app="lulesh", config=presets.mpc_omp(),
+                          params={"s": 16, "iterations": 2, "tpl": 8})
+    specs = [base.with_params(tpl=t) for t in (8, 16, 32, 64)]
+    print(dump_specs(specs))
+
+then run it:
+
+    python -m repro campaign specs.json --jobs 8 --cache-dir .campaign
+"""
+
+
+def cmd_campaign(args) -> int:
+    from pathlib import Path
+
+    from repro.campaign.engine import run_campaign
+    from repro.campaign.spec import dump_specs, load_specs
+    from repro.util.serde import canonical_json
+
+    if args.example:
+        from repro.runtime import presets as _presets
+
+        base = ExperimentSpec(
+            app="lulesh",
+            config=_presets.mpc_omp(n_threads=4),
+            params={"s": 16, "iterations": 2, "tpl": 8},
+        )
+        print(dump_specs([base.with_params(tpl=t) for t in (8, 16, 32, 64)]))
+        print(f"\n# {_EXAMPLE_CAMPAIGN}".replace("\n", "\n# "), file=sys.stderr)
+        return 0
+    if args.specfile is None:
+        print("error: SPECFILE required (or use --example)", file=sys.stderr)
+        return 2
+    text = (
+        sys.stdin.read() if args.specfile == "-" else Path(args.specfile).read_text()
+    )
+    specs = load_specs(text)
+    out = run_campaign(
+        specs,
+        jobs=args.jobs,
+        cache=args.cache_dir,
+        reuse_cache=args.resume,
+        timeout=args.timeout,
+        retries=args.retries,
+        progress=not args.json,
+    )
+    if args.json:
+        print(canonical_json(out.to_dict()))
+    else:
+        for rec in out.records:
+            state = "cached" if rec.cached else ("ok" if rec.ok else "FAILED")
+            mk = "-" if rec.result is None else f"{rec.result.makespan:.6f}s"
+            print(f"{rec.spec.key[:12]}  {state:>6}  {mk}  {rec.spec.label}")
+        print(out.summary())
+    return 0 if out.ok else 1
+
+
 def cmd_validate(args) -> int:
     from repro.apps.cholesky import NumericCholesky, random_spd
     from repro.apps.hpcg import NumericCG, laplacian_27pt
     from repro.apps.lulesh import Hydro1D
     from repro.memory.machine import tiny_test_machine
-    from repro.runtime.runtime import RuntimeConfig
+    from repro.runtime.runtime import RuntimeConfig, TaskRuntime
 
     failures = 0
     cfg = RuntimeConfig(machine=tiny_test_machine(4),
@@ -315,7 +398,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tpl-max", type=int, default=256)
     p.add_argument("--points", type=int, default=8)
     p.add_argument("--flops", type=float, default=25.0)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the sweep points (default 1)")
+    p.add_argument("--cache-dir", default=None,
+                   help="result cache directory (points already cached are "
+                        "not re-run)")
     p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser(
+        "campaign",
+        help="run a JSON spec file through the cached campaign engine",
+    )
+    p.add_argument("specfile", nargs="?", default=None,
+                   help="JSON spec file ('-' for stdin); see --example")
+    p.add_argument("--jobs", type=int, default=1, help="worker processes")
+    p.add_argument("--cache-dir", default=None,
+                   help="content-addressed result cache directory")
+    p.add_argument("--resume", dest="resume", action="store_true", default=True,
+                   help="skip runs already in the cache (default)")
+    p.add_argument("--no-resume", dest="resume", action="store_false",
+                   help="re-execute every run, overwriting cache entries")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-run wall-clock limit in seconds")
+    p.add_argument("--retries", type=int, default=1,
+                   help="extra attempts after a worker death/timeout (default 1)")
+    p.add_argument("--json", action="store_true",
+                   help="print a deterministic JSON campaign summary")
+    p.add_argument("--example", action="store_true",
+                   help="print an example spec file and exit")
+    p.set_defaults(fn=cmd_campaign)
 
     p = sub.add_parser("validate", help="numeric end-to-end validation")
     p.add_argument("--opts", default="abcp")

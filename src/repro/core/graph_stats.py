@@ -26,6 +26,18 @@ class EdgeStats:
     #: Empty redirect nodes inserted by optimization (c).
     redirect_nodes: int = 0
 
+    def to_dict(self) -> dict:
+        """JSON-ready dict; inverse of :meth:`from_dict`."""
+        from repro.util.serde import flat_to_dict
+
+        return flat_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EdgeStats":
+        from repro.util.serde import flat_from_dict
+
+        return flat_from_dict(cls, data)
+
     def merge(self, other: "EdgeStats") -> None:
         self.created += other.created
         self.pruned += other.pruned

@@ -68,6 +68,19 @@ class OptimizationSet:
         return cls(**flags)
 
     # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready dict; inverse of :meth:`from_dict`."""
+        from repro.util.serde import flat_to_dict
+
+        return flat_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OptimizationSet":
+        from repro.util.serde import flat_from_dict
+
+        return flat_from_dict(cls, data)
+
+    # ------------------------------------------------------------------
     @property
     def label(self) -> str:
         """Compact label used in tables, e.g. ``"(a)+(b)+(c)"``."""

@@ -54,6 +54,19 @@ class ThrottleConfig:
         return cls(ready_cap=cap, total_cap=None)
 
     # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready dict; inverse of :meth:`from_dict`."""
+        from repro.util.serde import flat_to_dict
+
+        return flat_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ThrottleConfig":
+        from repro.util.serde import flat_from_dict
+
+        return flat_from_dict(cls, data)
+
+    # ------------------------------------------------------------------
     def should_block(self, n_ready: int, n_live: int) -> bool:
         """Whether the producer must stop discovering and consume instead."""
         if self.ready_cap is not None and n_ready >= self.ready_cap:

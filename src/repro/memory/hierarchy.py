@@ -41,6 +41,18 @@ class MemCounters:
     def total_stall_cycles(self) -> float:
         return self.l1_stall_cycles + self.l2_stall_cycles + self.l3_stall_cycles
 
+    def to_dict(self) -> dict:
+        """JSON-ready dict; inverse of :meth:`from_dict`."""
+        from repro.util.serde import flat_to_dict
+
+        return flat_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MemCounters":
+        from repro.util.serde import flat_from_dict
+
+        return flat_from_dict(cls, data)
+
     def merge(self, other: "MemCounters") -> None:
         self.l1_misses += other.l1_misses
         self.l2_misses += other.l2_misses

@@ -65,6 +65,23 @@ class MachineSpec:
             raise ValueError("cache capacities must be non-decreasing L1<=L2<=L3")
 
     # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready dict; inverse of :meth:`from_dict`.
+
+        With value equality (frozen dataclass) this makes machine specs
+        usable as cache keys: equal machines serialize identically.
+        """
+        from repro.util.serde import flat_to_dict
+
+        return flat_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MachineSpec":
+        from repro.util.serde import flat_from_dict
+
+        return flat_from_dict(cls, data)
+
+    # ------------------------------------------------------------------
     def with_cores(self, n_cores: int) -> "MachineSpec":
         """Same machine with a different core count (scaled experiments)."""
         return replace(self, n_cores=n_cores)

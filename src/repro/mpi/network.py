@@ -39,6 +39,19 @@ class NetworkSpec:
         check_positive("allreduce_beta_bw", self.allreduce_beta_bw)
 
     # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready dict; inverse of :meth:`from_dict`."""
+        from repro.util.serde import flat_to_dict
+
+        return flat_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NetworkSpec":
+        from repro.util.serde import flat_from_dict
+
+        return flat_from_dict(cls, data)
+
+    # ------------------------------------------------------------------
     def is_eager(self, nbytes: int) -> bool:
         """Whether a message of this size ships eagerly."""
         return nbytes <= self.eager_threshold

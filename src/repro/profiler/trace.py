@@ -30,6 +30,27 @@ class CommRecord:
         """The paper's communication time c(r): posting to completion."""
         return self.complete_time - self.post_time
 
+    def to_dict(self) -> dict:
+        """JSON-ready dict; inverse of :meth:`from_dict`.
+
+        ``complete_time`` may be NaN (request still in flight when the
+        trace was cut); the serde layer maps it to a sentinel so strict
+        JSON round-trips it.
+        """
+        from repro.util.serde import flat_to_dict
+
+        return flat_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CommRecord":
+        from repro.util.serde import desanitize_float, flat_from_dict
+
+        d = dict(data)
+        for f in ("post_time", "complete_time"):
+            if f in d:
+                d[f] = desanitize_float(d[f])
+        return flat_from_dict(cls, d)
+
 
 class TaskTrace:
     """Columnar trace of task executions on one simulated process."""
@@ -85,6 +106,31 @@ class TaskTrace:
     def names(self) -> list[str]:
         """Task names, aligned with :meth:`arrays` rows."""
         return list(self._names)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Columnar JSON-ready dict; inverse of :meth:`from_dict`."""
+        return {
+            "tid": list(self._tid),
+            "name": list(self._names),
+            "loop": list(self._loop),
+            "iteration": list(self._iter),
+            "worker": list(self._worker),
+            "start": list(self._start),
+            "end": list(self._end),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TaskTrace":
+        trace = cls(enabled=True)
+        trace._tid = [int(v) for v in data["tid"]]
+        trace._names = [str(v) for v in data["name"]]
+        trace._loop = [int(v) for v in data["loop"]]
+        trace._iter = [int(v) for v in data["iteration"]]
+        trace._worker = [int(v) for v in data["worker"]]
+        trace._start = [float(v) for v in data["start"]]
+        trace._end = [float(v) for v in data["end"]]
+        return trace
 
     # ------------------------------------------------------------------
     def to_json_lines(self) -> str:

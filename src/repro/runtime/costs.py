@@ -59,6 +59,19 @@ class DiscoveryCosts:
             check_non_negative(f, getattr(self, f))
 
     # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready dict; inverse of :meth:`from_dict`."""
+        from repro.util.serde import flat_to_dict
+
+        return flat_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DiscoveryCosts":
+        from repro.util.serde import flat_from_dict
+
+        return flat_from_dict(cls, data)
+
+    # ------------------------------------------------------------------
     def scaled(self, factor: float) -> "DiscoveryCosts":
         """All constants multiplied by ``factor``.
 
@@ -136,6 +149,18 @@ class SchedulerCosts:
             "c_contention",
         ):
             check_non_negative(f, getattr(self, f))
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict; inverse of :meth:`from_dict`."""
+        from repro.util.serde import flat_to_dict
+
+        return flat_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SchedulerCosts":
+        from repro.util.serde import flat_from_dict
+
+        return flat_from_dict(cls, data)
 
     def scaled(self, factor: float) -> "SchedulerCosts":
         """All constants multiplied by ``factor`` (see

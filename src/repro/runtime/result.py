@@ -114,6 +114,56 @@ class RunResult:
         return self.overhead_total / self.n_tasks if self.n_tasks else 0.0
 
     # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready dict; inverse of :meth:`from_dict`.
+
+        This is the on-disk format of the campaign result cache: numpy
+        arrays become lists (float repr round-trips doubles exactly), the
+        optional trace serializes columnar, and ``extra`` passes through
+        (campaign results keep it JSON-only).
+        """
+        return {
+            "name": self.name,
+            "n_threads": self.n_threads,
+            "makespan": self.makespan,
+            "discovery_busy": self.discovery_busy,
+            "discovery_span": list(self.discovery_span),
+            "execution_span": list(self.execution_span),
+            "work": [float(v) for v in self.work],
+            "overhead": [float(v) for v in self.overhead],
+            "n_tasks": self.n_tasks,
+            "edges": self.edges.to_dict(),
+            "mem": self.mem.to_dict(),
+            "trace": None if self.trace is None else self.trace.to_dict(),
+            "comm": [r.to_dict() for r in self.comm],
+            "extra": self.extra,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        from repro.profiler.trace import TaskTrace as _TaskTrace
+
+        return cls(
+            name=data["name"],
+            n_threads=int(data["n_threads"]),
+            makespan=float(data["makespan"]),
+            discovery_busy=float(data["discovery_busy"]),
+            discovery_span=tuple(data["discovery_span"]),
+            execution_span=tuple(data["execution_span"]),
+            work=np.asarray(data["work"], dtype=float),
+            overhead=np.asarray(data["overhead"], dtype=float),
+            n_tasks=int(data["n_tasks"]),
+            edges=EdgeStats.from_dict(data["edges"]),
+            mem=MemCounters.from_dict(data["mem"]),
+            trace=(
+                None if data.get("trace") is None
+                else _TaskTrace.from_dict(data["trace"])
+            ),
+            comm=[CommRecord.from_dict(r) for r in data.get("comm", [])],
+            extra=dict(data.get("extra", {})),
+        )
+
+    # ------------------------------------------------------------------
     def summary(self) -> str:
         """One-line human-readable summary."""
         return (

@@ -102,6 +102,66 @@ class RuntimeConfig:
     def threads(self) -> int:
         return self.n_threads if self.n_threads is not None else self.machine.n_cores
 
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready nested dict; inverse of :meth:`from_dict`.
+
+        Every sub-config serializes through its own ``to_dict``, so the
+        whole tree round-trips by value — the property
+        :class:`~repro.campaign.spec.ExperimentSpec` hashing relies on.
+        """
+        return {
+            "machine": self.machine.to_dict(),
+            "n_threads": self.n_threads,
+            "opts": self.opts.to_dict(),
+            "throttle": self.throttle.to_dict(),
+            "discovery": self.discovery.to_dict(),
+            "sched": self.sched.to_dict(),
+            "scheduler": self.scheduler,
+            "non_overlapped": self.non_overlapped,
+            "trace": self.trace,
+            "execute_bodies": self.execute_bodies,
+            "accelerator": (
+                None if self.accelerator is None else self.accelerator.to_dict()
+            ),
+            "seed": self.seed,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RuntimeConfig":
+        from repro.core.optimizations import OptimizationSet
+        from repro.core.throttling import ThrottleConfig
+        from repro.runtime.costs import DiscoveryCosts, SchedulerCosts
+
+        d = dict(data)
+        known = {
+            "machine", "n_threads", "opts", "throttle", "discovery", "sched",
+            "scheduler", "non_overlapped", "trace", "execute_bodies",
+            "accelerator", "seed", "name",
+        }
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(f"unknown RuntimeConfig field(s) {sorted(unknown)}")
+        kwargs = {}
+        if "machine" in d:
+            kwargs["machine"] = MachineSpec.from_dict(d["machine"])
+        if "opts" in d:
+            kwargs["opts"] = OptimizationSet.from_dict(d["opts"])
+        if "throttle" in d:
+            kwargs["throttle"] = ThrottleConfig.from_dict(d["throttle"])
+        if "discovery" in d:
+            kwargs["discovery"] = DiscoveryCosts.from_dict(d["discovery"])
+        if "sched" in d:
+            kwargs["sched"] = SchedulerCosts.from_dict(d["sched"])
+        if d.get("accelerator") is not None:
+            kwargs["accelerator"] = AcceleratorSpec.from_dict(d["accelerator"])
+        for name in ("n_threads", "scheduler", "non_overlapped", "trace",
+                     "execute_bodies", "seed", "name"):
+            if name in d:
+                kwargs[name] = d[name]
+        return cls(**kwargs)
+
 
 class DeadlockError(RuntimeError):
     """The simulation drained its event queue with incomplete tasks."""

@@ -21,7 +21,7 @@ All three execution engines (:class:`~repro.runtime.runtime.TaskRuntime`,
   :mod:`repro.verify`.
 """
 
-from repro.sim.bus import InstrumentationBus
+from repro.sim.bus import HookBus, InstrumentationBus
 from repro.sim.context import SimContext
 from repro.sim.events import EventQueue
 from repro.sim.subscribers import (
@@ -34,6 +34,7 @@ from repro.sim.table import TaskTable
 
 __all__ = [
     "CommRecorder",
+    "HookBus",
     "EventCounter",
     "EventQueue",
     "InstrumentationBus",

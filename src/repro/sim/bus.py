@@ -46,17 +46,25 @@ HOOKS = (
 )
 
 
-class InstrumentationBus:
+class HookBus:
     """A set of hook points observers attach to.
 
     Unknown hook names raise immediately — a typo'd subscription would
     otherwise silently observe nothing.
+
+    Subclasses declare their hook catalogue in a ``HOOKS`` class attribute
+    and usually set ``__slots__ = HOOKS``; the emit-site idiom (attribute
+    load + falsy check) and the ``attach``/``detach`` subscriber protocol
+    are shared.  :class:`InstrumentationBus` instruments the simulation
+    kernel; :class:`repro.campaign.bus.CampaignBus` instruments experiment
+    campaigns with the same idiom.
     """
 
-    __slots__ = HOOKS
+    __slots__ = ()
+    HOOKS: tuple[str, ...] = ()
 
     def __init__(self) -> None:
-        for name in HOOKS:
+        for name in type(self).HOOKS:
             setattr(self, name, None)
 
     # ------------------------------------------------------------------
@@ -88,8 +96,9 @@ class InstrumentationBus:
         ``on_msg_post`` / ``on_msg_complete`` / ``on_barrier`` methods.
         Returns the subscriber, so ``bus.attach(Recorder())`` reads well.
         """
+        hooks = type(self).HOOKS
         found = False
-        for name in HOOKS:
+        for name in hooks:
             fn = getattr(subscriber, f"on_{name}", None)
             if fn is not None:
                 self.subscribe(name, fn)
@@ -97,27 +106,35 @@ class InstrumentationBus:
         if not found:
             raise TypeError(
                 f"{type(subscriber).__name__} defines no on_<hook> method; "
-                f"hooks are {', '.join(HOOKS)}"
+                f"hooks are {', '.join(hooks)}"
             )
         return subscriber
 
     def detach(self, subscriber: object) -> None:
         """Remove every hook subscription made by :meth:`attach`."""
-        for name in HOOKS:
+        for name in type(self).HOOKS:
             fn = getattr(subscriber, f"on_{name}", None)
             if fn is not None:
                 self.unsubscribe(name, fn)
 
     # ------------------------------------------------------------------
     def _get(self, hook: str):
-        if hook not in HOOKS:
-            raise ValueError(f"unknown hook {hook!r}; expected one of {HOOKS}")
+        hooks = type(self).HOOKS
+        if hook not in hooks:
+            raise ValueError(f"unknown hook {hook!r}; expected one of {hooks}")
         return getattr(self, hook)
 
     @property
     def quiet(self) -> bool:
         """True when no hook has any subscriber."""
-        return all(getattr(self, name) is None for name in HOOKS)
+        return all(getattr(self, name) is None for name in type(self).HOOKS)
+
+
+class InstrumentationBus(HookBus):
+    """The simulation kernel's hook points (see the module docstring)."""
+
+    __slots__ = HOOKS
+    HOOKS = HOOKS
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         active = {

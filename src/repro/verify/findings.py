@@ -114,9 +114,15 @@ class Report:
         return max(f.severity for f in self.findings)
 
     def sorted(self) -> list[Finding]:
-        """Findings ordered worst-first, then by rule id."""
+        """Findings ordered worst-first, then by a full deterministic key.
+
+        The tie-break covers every identifying field (rule, iteration,
+        message, tasks) so renderings never depend on pass emission order.
+        """
         return sorted(
-            self.findings, key=lambda f: (-int(f.severity), f.rule, f.message)
+            self.findings,
+            key=lambda f: (-int(f.severity), f.rule, f.iteration, f.message,
+                           f.tasks),
         )
 
     def to_dict(self) -> dict:

@@ -60,5 +60,9 @@ def render_text(report: Report) -> str:
 
 
 def render_json(report: Report, *, indent: int = 2) -> str:
-    """JSON rendering of :meth:`Report.to_dict`."""
-    return json.dumps(report.to_dict(), indent=indent)
+    """JSON rendering of :meth:`Report.to_dict`.
+
+    Deterministic: keys are sorted and findings use the report's full
+    ordering, so two runs over the same program diff clean.
+    """
+    return json.dumps(report.to_dict(), indent=indent, sort_keys=True)

@@ -1,0 +1,91 @@
+"""ResultCache: content-addressed entries, atomicity, error records."""
+
+from __future__ import annotations
+
+import json
+
+from repro.campaign.cache import CACHE_FORMAT, ResultCache
+from repro.campaign.runner import run_experiment
+from repro.campaign.spec import ExperimentSpec
+from repro.memory.machine import tiny_test_machine
+from repro.runtime import presets
+from repro.util.serde import canonical_json
+
+CFG = presets.mpc_omp(tiny_test_machine(4), n_threads=4)
+
+
+def spec(**kw) -> ExperimentSpec:
+    kw.setdefault("app", "lulesh")
+    kw.setdefault("config", CFG)
+    kw.setdefault("params", {"s": 6, "iterations": 1, "tpl": 2})
+    return ExperimentSpec(**kw)
+
+
+class TestCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        s = spec()
+        assert cache.get(s) is None
+        assert not cache.contains(s)
+        res = run_experiment(s)
+        cache.put(s, res)
+        assert cache.contains(s)
+        got = cache.get(s)
+        assert got is not None
+        # the stored result round-trips bitwise
+        assert canonical_json(got.to_dict()) == canonical_json(res.to_dict())
+
+    def test_entries_are_sharded_by_key_prefix(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        s = spec()
+        path = cache.path_for(s.key)
+        assert path.parent.name == s.key[:2]
+        assert path.name == f"{s.key}.json"
+
+    def test_len_and_keys(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert len(cache) == 0
+        specs = [spec(seed=i) for i in range(3)]
+        for s in specs:
+            cache.put(s, run_experiment(s))
+        assert len(cache) == 3
+        assert cache.keys() == sorted(s.key for s in specs)
+
+    def test_format_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        s = spec()
+        cache.put(s, run_experiment(s))
+        doc = json.loads(cache.path_for(s.key).read_text())
+        assert doc["format"] == CACHE_FORMAT
+        doc["format"] = CACHE_FORMAT + 1
+        cache.path_for(s.key).write_text(json.dumps(doc))
+        assert cache.get(s) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        s = spec()
+        p = cache.path_for(s.key)
+        p.parent.mkdir(parents=True)
+        p.write_text("{not json")
+        assert cache.get(s) is None
+
+    def test_error_records(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        s = spec()
+        assert cache.get_error(s) is None
+        cache.put_error(s, "Traceback: boom")
+        assert "boom" in cache.get_error(s)
+        # a later success supersedes the failure record
+        cache.put(s, run_experiment(s))
+        assert cache.get_error(s) is None
+        assert cache.get(s) is not None
+
+    def test_entry_is_canonical_json(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        s = spec()
+        cache.put(s, run_experiment(s))
+        text = cache.path_for(s.key).read_text()
+        doc = json.loads(text)
+        assert text.strip() == canonical_json(doc)
+        assert doc["key"] == s.key
+        assert doc["spec"] == s.to_dict()

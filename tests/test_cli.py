@@ -1,5 +1,7 @@
 """CLI smoke and behavior tests (python -m repro ...)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -71,6 +73,103 @@ class TestCommands:
 
     def test_validate_with_opts(self, capsys):
         assert main(["validate", "--opts", "b"]) == 0
+
+
+class TestCampaignCommand:
+    @staticmethod
+    def specfile(tmp_path, tpls=(2, 4)):
+        from repro.campaign import ExperimentSpec, dump_specs
+        from repro.memory.machine import tiny_test_machine
+        from repro.runtime import presets
+
+        base = ExperimentSpec(
+            app="lulesh",
+            config=presets.mpc_omp(tiny_test_machine(4), n_threads=4),
+            params={"s": 8, "iterations": 1, "tpl": tpls[0]},
+        )
+        path = tmp_path / "specs.json"
+        path.write_text(dump_specs([base.with_params(tpl=t) for t in tpls]))
+        return path
+
+    def test_example_is_loadable(self, capsys):
+        from repro.campaign import load_specs
+
+        assert main(["campaign", "--example"]) == 0
+        specs = load_specs(capsys.readouterr().out)
+        assert len(specs) == 4
+        assert all(s.app == "lulesh" for s in specs)
+
+    def test_specfile_required(self, capsys):
+        assert main(["campaign"]) == 2
+        assert "SPECFILE" in capsys.readouterr().err
+
+    def test_run_then_cached(self, tmp_path, capsys):
+        path = self.specfile(tmp_path)
+        cache = tmp_path / "cache"
+        rc = main(["campaign", str(path), "--cache-dir", str(cache), "--json"])
+        assert rc == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["n_executed"] == 2
+        assert first["n_failed"] == 0
+
+        rc = main(["campaign", str(path), "--cache-dir", str(cache), "--json"])
+        assert rc == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["n_cached"] == 2
+        assert second["n_executed"] == 0
+        # same runs, same content keys, same makespans
+        assert [r["key"] for r in first["runs"]] == [r["key"] for r in second["runs"]]
+        assert [r["makespan"] for r in first["runs"]] == \
+            [r["makespan"] for r in second["runs"]]
+
+    def test_table_output(self, tmp_path, capsys):
+        path = self.specfile(tmp_path)
+        rc = main(["campaign", str(path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "lulesh/task" in out
+        assert "2 runs" in out
+
+    def test_json_output_is_deterministic(self, tmp_path, capsys):
+        path = self.specfile(tmp_path)
+        cache = tmp_path / "cache"
+        main(["campaign", str(path), "--cache-dir", str(cache), "--json"])
+        a = capsys.readouterr().out
+        main(["campaign", str(path), "--cache-dir", str(cache), "--json"])
+        b = capsys.readouterr().out
+        da, db = json.loads(a), json.loads(b)
+        da["n_cached"] = db["n_cached"] = None
+        da["n_executed"] = db["n_executed"] = None
+        for run in da["runs"] + db["runs"]:
+            run["cached"] = run["attempts"] = None
+        assert da == db
+
+
+class TestSweepJobs:
+    def test_sweep_with_jobs_and_cache(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        argv = ["sweep", "-s", "12", "-i", "2", "--tpl-min", "4",
+                "--tpl-max", "16", "--points", "3", "--machine", "tiny",
+                "--threads", "4", "--jobs", "2", "--cache-dir", str(cache)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "best TPL=" in out
+        assert len(list(cache.rglob("*.json"))) == 3  # points landed in cache
+
+
+class TestLintJsonDeterminism:
+    def test_lint_json_is_byte_identical_across_runs(self, capsys):
+        argv = ["lint", "lulesh", "-s", "8", "-i", "2", "--tpl", "4",
+                "--machine", "tiny", "--threads", "4", "--json"]
+        main(argv)
+        a = capsys.readouterr().out
+        main(argv)
+        b = capsys.readouterr().out
+        assert a == b
+        doc = json.loads(a)
+        # findings arrive sorted: severity desc, then rule name
+        sevs = [f["severity"] for f in doc["findings"]]
+        assert sevs == sorted(sevs, reverse=True)
 
 
 class TestOffloadFlag:
