@@ -77,6 +77,8 @@ def main(argv=None) -> int:
     ap.add_argument("--check", action="store_true",
                     help="exit 1 if speedup vs baseline < --min-speedup")
     ap.add_argument("--min-speedup", type=float, default=1.5)
+    ap.add_argument("--min-replay-speedup", type=float, default=1.3,
+                    help="gate for the persistent replay case (default 1.3)")
     args = ap.parse_args(argv)
 
     machine = scaled_skylake()
@@ -130,22 +132,26 @@ def main(argv=None) -> int:
         print(line)
 
     if args.check:
-        # The gate applies to the headline discovery-bound case (always
-        # listed first): the refactor's speedup target is the fine-grain
-        # regime where per-task discovery work dominates.  The persistent
-        # replay case skips discovery, so its per-task cost is mostly the
-        # (exactly preserved) event machinery — it is reported above but
-        # not gated.
-        rec = results[0]
-        ratio = rec.get("speedup_vs_baseline")
-        if ratio is None:
-            print("no baseline recorded; run --save-baseline first", file=sys.stderr)
-            return 1
-        if ratio < args.min_speedup:
-            print(f"FAIL: {rec['case']} speedup {ratio:.2f}x < {args.min_speedup}x",
-                  file=sys.stderr)
-            return 1
-        print(f"OK: {rec['case']} speedup {ratio:.2f}x >= {args.min_speedup}x")
+        # Two gates: the headline discovery-bound case (listed first; the
+        # sim-kernel refactor's target, where per-task discovery work
+        # dominates) and the persistent replay case (listed second; the
+        # compiled-TDG replay path, which turns per-task PTSG re-arming
+        # into bulk CSR array resets).  Both are best-of-``--repeats``
+        # against the committed pre-refactor baseline.
+        gates = [(results[0], args.min_speedup)]
+        if len(results) > 1:
+            gates.append((results[1], args.min_replay_speedup))
+        for rec, floor in gates:
+            ratio = rec.get("speedup_vs_baseline")
+            if ratio is None:
+                print("no baseline recorded; run --save-baseline first",
+                      file=sys.stderr)
+                return 1
+            if ratio < floor:
+                print(f"FAIL: {rec['case']} speedup {ratio:.2f}x < {floor}x",
+                      file=sys.stderr)
+                return 1
+            print(f"OK: {rec['case']} speedup {ratio:.2f}x >= {floor}x")
     return 0
 
 

@@ -1,114 +1,122 @@
-"""TDG shape analytics (networkx-backed).
+"""TDG shape analytics over the compiled CSR representation.
 
 The paper reasons about the *shape* of the discovered graph — its depth
 (the critical path the depth-first scheduler descends), its width (how much
 parallelism throttling may hide), and its average parallelism.  These
-helpers turn a discovered :class:`~repro.core.graph.TaskGraph` into a
-:mod:`networkx` DAG and compute those quantities.
+helpers accept either a live :class:`~repro.core.graph.TaskGraph` (flattened
+through :meth:`~repro.sim.table.TaskTable.build_csr`) or a frozen
+:class:`~repro.core.compiled.CompiledTDG`, and compute every metric on the
+CSR ``(offsets, targets)`` pair directly
+(:func:`repro.core.graph_stats.shape_from_csr`).  :mod:`networkx` is only
+materialized on demand (:func:`to_networkx`) for callers that want the
+ecosystem, never for the metrics themselves.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence, Union
 
 import networkx as nx
 
+from repro.core.compiled import CompiledTDG
 from repro.core.graph import TaskGraph
+from repro.core.graph_stats import (
+    GraphShape,
+    shape_from_csr,
+    width_profile_from_csr,
+)
 from repro.core.task import Task
 
+__all__ = [
+    "GraphShape",
+    "analyze_shape",
+    "to_networkx",
+    "width_profile",
+]
 
-def to_networkx(graph: TaskGraph, *, include_stubs: bool = True) -> nx.DiGraph:
+AnyGraph = Union[TaskGraph, CompiledTDG]
+
+
+def _csr_of(graph: AnyGraph) -> tuple[Sequence[int], Sequence[int]]:
+    """The ``(offsets, targets)`` pair of either graph representation."""
+    if isinstance(graph, CompiledTDG):
+        return graph.succ_offsets, graph.succ_targets
+    return graph.table.build_csr()
+
+
+def _weights_of(
+    graph: AnyGraph,
+    weight: Union[Callable[[Task], float], Sequence[float], None],
+) -> list[float]:
+    """Per-node weights aligned by tid.
+
+    ``weight`` may be a per-:class:`Task` callable (materializes views; only
+    supported for a :class:`TaskGraph`), a ready-made per-tid sequence, or
+    None for the default ``flops`` (stubs at zero).
+    """
+    if weight is None:
+        if isinstance(graph, CompiledTDG):
+            is_stub, flops = graph.is_stub, graph.flops
+        else:
+            is_stub, flops = graph.table.is_stub, graph.table.flops
+        return [0.0 if s else float(f) for s, f in zip(is_stub, flops)]
+    if callable(weight):
+        if isinstance(graph, CompiledTDG):
+            raise TypeError(
+                "per-Task weight callables need a TaskGraph; pass a "
+                "per-tid weight sequence for a CompiledTDG"
+            )
+        return [weight(t) for t in graph.tasks]
+    return [float(w) for w in weight]
+
+
+def to_networkx(graph: AnyGraph, *, include_stubs: bool = True) -> nx.DiGraph:
     """Materialize the TDG as a ``networkx.DiGraph``.
 
     Nodes are task ids with attributes ``name``, ``loop``, ``flops`` and
     ``stub``; parallel (duplicate) edges collapse — use the graph's own
     :class:`~repro.core.graph.EdgeStats` for multiplicity accounting.
     """
+    if isinstance(graph, CompiledTDG):
+        name, loop_id = graph.name, graph.loop_id
+        flops, is_stub = graph.flops, graph.is_stub
+    else:
+        tb = graph.table
+        name, loop_id, flops, is_stub = tb.name, tb.loop_id, tb.flops, tb.is_stub
+    offsets, targets = _csr_of(graph)
     g = nx.DiGraph()
-    for t in graph.tasks:
-        if t.is_stub and not include_stubs:
+    for tid in range(len(offsets) - 1):
+        if is_stub[tid] and not include_stubs:
             continue
         g.add_node(
-            t.tid, name=t.name, loop=t.loop_id, flops=t.flops, stub=t.is_stub
+            tid, name=name[tid], loop=loop_id[tid],
+            flops=flops[tid], stub=is_stub[tid],
         )
-    for pred, succ in graph.iter_edges():
-        if not include_stubs and (pred.is_stub or succ.is_stub):
+    for pred in range(len(offsets) - 1):
+        if not include_stubs and is_stub[pred]:
             continue
-        g.add_edge(pred.tid, succ.tid)
+        for succ in targets[offsets[pred]:offsets[pred + 1]]:
+            if not include_stubs and is_stub[succ]:
+                continue
+            g.add_edge(pred, succ)
     return g
 
 
-@dataclass(frozen=True, slots=True)
-class GraphShape:
-    """Summary shape metrics of a discovered TDG."""
-
-    n_tasks: int
-    n_edges: int
-    #: Longest path length in tasks (depth of the DAG).
-    depth: int
-    #: Total weight along the weighted critical path.
-    critical_path_weight: float
-    #: Total weight over all tasks.
-    total_weight: float
-    #: total / critical-path weight: the graph's average parallelism —
-    #: an upper bound on speedup (Brent's bound).
-    avg_parallelism: float
-
-    def __str__(self) -> str:
-        return (
-            f"tasks={self.n_tasks} edges={self.n_edges} depth={self.depth} "
-            f"T1={self.total_weight:.4g} Tinf={self.critical_path_weight:.4g} "
-            f"avg-parallelism={self.avg_parallelism:.1f}"
-        )
-
-
 def analyze_shape(
-    graph: TaskGraph,
+    graph: AnyGraph,
     *,
-    weight: Optional[Callable[[Task], float]] = None,
+    weight: Union[Callable[[Task], float], Sequence[float], None] = None,
 ) -> GraphShape:
     """Compute the shape metrics of a TDG.
 
     ``weight`` maps a task to its cost (default: ``flops``, with stubs at
     zero); ``T1/Tinf`` is the classic work/span ratio.
     """
-    if weight is None:
-        weight = lambda t: 0.0 if t.is_stub else float(t.flops)
-    weights = {t.tid: weight(t) for t in graph.tasks}
-    g = to_networkx(graph)
-    if len(g) == 0:
-        return GraphShape(0, 0, 0, 0.0, 0.0, 0.0)
-
-    # Longest weighted path via one topological pass.
-    depth: dict[int, int] = {}
-    span: dict[int, float] = {}
-    for nid in nx.topological_sort(g):
-        preds = list(g.predecessors(nid))
-        depth[nid] = 1 + max((depth[p] for p in preds), default=0)
-        span[nid] = weights[nid] + max((span[p] for p in preds), default=0.0)
-    total = sum(weights.values())
-    tinf = max(span.values())
-    return GraphShape(
-        n_tasks=len(g),
-        n_edges=g.number_of_edges(),
-        depth=max(depth.values()),
-        critical_path_weight=tinf,
-        total_weight=total,
-        avg_parallelism=(total / tinf) if tinf > 0 else 0.0,
-    )
+    offsets, targets = _csr_of(graph)
+    return shape_from_csr(offsets, targets, _weights_of(graph, weight))
 
 
-def width_profile(graph: TaskGraph) -> list[int]:
+def width_profile(graph: AnyGraph) -> list[int]:
     """Tasks per depth level — the breadth the scheduler could exploit."""
-    g = to_networkx(graph)
-    levels: dict[int, int] = {}
-    for nid in nx.topological_sort(g):
-        preds = list(g.predecessors(nid))
-        levels[nid] = 1 + max((levels[p] for p in preds), default=0)
-    if not levels:
-        return []
-    out = [0] * max(levels.values())
-    for lvl in levels.values():
-        out[lvl - 1] += 1
-    return out
+    offsets, targets = _csr_of(graph)
+    return width_profile_from_csr(offsets, targets)

@@ -15,19 +15,7 @@ from typing import Iterable
 from repro.apps.cholesky.config import CholeskyConfig
 from repro.core.program import CommKind, CommSpec, Program, TaskSpec
 from repro.core.task import AccessMode, Dep, DepMode, FootprintAccess
-
-
-class _Interner:
-    def __init__(self) -> None:
-        self._table: dict[object, int] = {}
-
-    def __call__(self, key: object) -> int:
-        t = self._table
-        v = t.get(key)
-        if v is None:
-            v = len(t)
-            t[key] = v
-        return v
+from repro.util import Interner as _Interner
 
 
 def _consumers_of_panel_tile(cfg: CholeskyConfig, i: int, k: int) -> set[int]:

@@ -27,19 +27,7 @@ from repro.apps.hpcg.config import HpcgConfig
 from repro.cluster.mapping import Neighbor
 from repro.core.program import CommKind, CommSpec, Program, TaskSpec
 from repro.core.task import AccessMode, Dep, DepMode, FootprintAccess
-
-
-class _Interner:
-    def __init__(self) -> None:
-        self._table: dict[object, int] = {}
-
-    def __call__(self, key: object) -> int:
-        t = self._table
-        v = t.get(key)
-        if v is None:
-            v = len(t)
-            t[key] = v
-        return v
+from repro.util import Interner as _Interner
 
 
 def build_task_program(

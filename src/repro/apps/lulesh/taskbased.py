@@ -21,24 +21,7 @@ from repro.apps.lulesh.loops import COMM_AFTER_LOOP, LOOP_SCHEDULE, LoopDef
 from repro.cluster.mapping import Neighbor
 from repro.core.program import CommKind, CommSpec, Program, TaskSpec
 from repro.core.task import AccessMode, Dep, DepMode, FootprintAccess
-
-
-class _Interner:
-    """Interns hashable keys to dense ints (addresses and chunk ids)."""
-
-    def __init__(self) -> None:
-        self._table: dict[object, int] = {}
-
-    def __call__(self, key: object) -> int:
-        t = self._table
-        v = t.get(key)
-        if v is None:
-            v = len(t)
-            t[key] = v
-        return v
-
-    def __len__(self) -> int:
-        return len(self._table)
+from repro.util import Interner as _Interner
 
 
 def _group_fields(array: str, group: str) -> int:

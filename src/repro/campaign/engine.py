@@ -35,6 +35,7 @@ from repro.campaign.bus import CampaignBus, ProgressPrinter
 from repro.campaign.cache import ResultCache
 from repro.campaign.runner import run_experiment
 from repro.campaign.spec import ExperimentSpec
+from repro.core.compiled import CompiledGraphCache
 from repro.runtime.result import RunResult
 
 _POLL_S = 0.02
@@ -138,8 +139,9 @@ def _worker_entry(spec_json: str, cache_root: str) -> None:
     """
     spec = ExperimentSpec.from_json(spec_json)
     cache = ResultCache(cache_root)
+    compiled_cache = CompiledGraphCache.for_campaign(cache_root)
     try:
-        result = run_experiment(spec)
+        result = run_experiment(spec, compiled_cache=compiled_cache)
         cache.put(spec, result)
     except BaseException:
         try:
@@ -266,6 +268,9 @@ def _emit(cbs, *args) -> None:
 
 
 def _run_serial(records, pending, cache, retries, bus) -> None:
+    compiled_cache = (
+        CompiledGraphCache.for_campaign(cache.root) if cache is not None else None
+    )
     for i in pending:
         rec = records[i]
         for attempt in range(1, retries + 2):
@@ -273,7 +278,7 @@ def _run_serial(records, pending, cache, retries, bus) -> None:
             _emit(bus.run_start, i, rec.spec, attempt)
             t = time.monotonic()
             try:
-                result = run_experiment(rec.spec)
+                result = run_experiment(rec.spec, compiled_cache=compiled_cache)
             except Exception:
                 rec.error = traceback.format_exc()
                 if attempt <= retries:

@@ -26,6 +26,7 @@ from repro.runtime.runtime import RuntimeConfig, TaskRuntime
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.cluster import ClusterResult
+    from repro.core.compiled import CompiledGraphCache
 
 #: Builder-only parameter names per app (everything else feeds the app
 #: config dataclass).
@@ -144,12 +145,21 @@ def run_experiment_cluster(
     return out
 
 
-def run_experiment(spec: ExperimentSpec) -> RunResult:
+def run_experiment(
+    spec: ExperimentSpec,
+    *,
+    compiled_cache: Optional["CompiledGraphCache"] = None,
+) -> RunResult:
     """Execute one :class:`ExperimentSpec` to completion.
 
     Deterministic: equal specs produce bitwise-equal serialized results,
     in any process — the contract the campaign cache and the parallel
-    fan-out engine are built on.
+    fan-out engine are built on.  ``compiled_cache`` attaches a
+    :class:`~repro.core.compiled.CompiledGraphCache` to single-rank task
+    runs: persistent runs publish their frozen TDG artifact there (and
+    report hit/stored under ``extra["compiled_tdg"]``); runs without a
+    cache skip signature hashing entirely, so their serialized results
+    are unchanged.
     """
     if spec.ranks == 1:
         cfg = derive_config(spec)
@@ -161,7 +171,7 @@ def run_experiment(spec: ExperimentSpec) -> RunResult:
             network = spec.network if spec.network is not None else bxi_like()
             res = Cluster(1, network=network).run([program], [cfg]).results[0]
         else:
-            rt = TaskRuntime(program, cfg)
+            rt = TaskRuntime(program, cfg, compiled_cache=compiled_cache)
             res = rt.run()
             if rt.accelerator is not None:
                 st = rt.accelerator.stats

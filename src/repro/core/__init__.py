@@ -16,6 +16,12 @@ from repro.core.program import (
     TaskSpec,
 )
 from repro.core.graph import TaskGraph, EdgeStats
+from repro.core.compiled import (
+    CompiledGraphCache,
+    CompiledTDG,
+    compile_program,
+    structural_signature,
+)
 from repro.core.dependences import DependenceResolver, ResolutionResult
 from repro.core.optimizations import OptimizationSet
 from repro.core.persistent import PersistentRegion, PersistentStructureError
@@ -35,6 +41,10 @@ __all__ = [
     "TaskSpec",
     "TaskGraph",
     "EdgeStats",
+    "CompiledGraphCache",
+    "CompiledTDG",
+    "compile_program",
+    "structural_signature",
     "DependenceResolver",
     "ResolutionResult",
     "OptimizationSet",

@@ -1,0 +1,461 @@
+"""The compiled TDG: one frozen CSR graph artifact shared by every layer.
+
+The paper's flagship optimization — the persistent task sub-graph (§3.2) —
+wins by *reusing* a discovered graph instead of rediscovering it.  This
+module gives the reproduction a single frozen representation of a
+discovered TDG that every consumer reads:
+
+- :class:`~repro.runtime.runtime.TaskRuntime` snapshots one after the
+  first persistent iteration (:meth:`CompiledTDG.from_table`) and replays
+  against the same CSR arrays;
+- :mod:`repro.verify` compiles one statically (:func:`compile_program`)
+  instead of maintaining its own shadow graph — static-vs-DES edge
+  equality becomes equality by construction;
+- :mod:`repro.analysis.graphtools` and :mod:`repro.cluster.mapping` read
+  the CSR arrays directly (shape metrics, rank partition summaries).
+
+Artifacts are content-addressed: :func:`structural_signature` hashes the
+program's *structure* (names, loop ids, dependences, taskwait positions,
+firstprivate sizes, flops) together with the discovery optimization set —
+everything that determines the discovered graph — through
+:func:`repro.util.serde.content_key`.  Two structurally identical programs
+compile to the same key in any process, which is what lets
+:class:`CompiledGraphCache` (same atomic-write idiom as the campaign
+:class:`~repro.campaign.cache.ResultCache`) share compiled graphs across
+runs and across consumers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Sequence, Union
+
+from repro.core.graph_stats import EdgeStats
+from repro.util.serde import canonical_json, content_key
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.graph import TaskGraph
+    from repro.core.optimizations import OptimizationSet
+    from repro.core.program import Program
+    from repro.runtime.costs import DiscoveryCosts
+    from repro.sim.table import TaskTable
+
+#: On-disk format of cached compiled graphs; bump on schema change so
+#: stale entries miss instead of deserializing wrongly.
+COMPILED_FORMAT = 1
+
+#: Signature schema version (bump when the signature covers new fields —
+#: old cache entries then miss, never alias).
+_SIGNATURE_FORMAT = 1
+
+
+# ======================================================================
+# structural signature
+# ======================================================================
+def _spec_signature(spec) -> list:
+    """The structure-determining fields of one :class:`TaskSpec`.
+
+    Bodies, footprints and comm payloads may vary without changing the
+    discovered graph; names, loop ids, dependences and taskwait positions
+    may not.  ``fp_bytes`` and ``flops`` ride along because the compiled
+    artifact stores them as columns (replay costs and shape weights).
+    """
+    return [
+        spec.name,
+        spec.loop_id,
+        [[a, int(m)] for a, m in spec.depends],
+        bool(spec.barrier),
+        spec.fp_bytes,
+        spec.flops,
+    ]
+
+
+def structural_signature(program: "Program", opts: "OptimizationSet") -> str:
+    """Content hash identifying the graph ``compile_program`` would build.
+
+    Iteration spec lists shared across iterations (the
+    :meth:`~repro.core.program.Program.from_template` layout) are
+    serialized once and reused, so signing a large program costs one pass
+    over its distinct specs — content-equal programs hash equal whether
+    or not their iterations share lists.
+    """
+    frag_by_list: dict[int, list] = {}
+    iterations = []
+    for it in program.iterations:
+        frag = frag_by_list.get(id(it.tasks))
+        if frag is None:
+            frag = frag_by_list[id(it.tasks)] = [
+                _spec_signature(s) for s in it.tasks
+            ]
+        iterations.append(frag)
+    return content_key(
+        {
+            "format": _SIGNATURE_FORMAT,
+            "persistent_candidate": bool(program.persistent_candidate),
+            "opts": opts.to_dict(),
+            "iterations": iterations,
+        }
+    )
+
+
+# ======================================================================
+# the artifact
+# ======================================================================
+@dataclass
+class CompiledTDG:
+    """A discovered TDG frozen into CSR arrays.
+
+    All columns are aligned by ``tid``; ``succ_targets[succ_offsets[t]:
+    succ_offsets[t + 1]]`` are ``t``'s successors in edge-creation order
+    (duplicate edges kept — :attr:`stats` accounts for multiplicity).
+    ``indegree`` is each task's total predecessor count including
+    pre-satisfied edges (the runtime's ``npred_initial``), i.e. what a
+    replay reset re-arms the task with.
+    """
+
+    #: Content key (:func:`structural_signature`) of the source program.
+    key: str
+    persistent: bool
+    # ---- CSR ----------------------------------------------------------
+    succ_offsets: list[int]
+    succ_targets: list[int]
+    indegree: list[int]
+    # ---- aligned columns ---------------------------------------------
+    name: list[str]
+    loop_id: list[int]
+    iteration: list[int]
+    #: Barrier epoch per task (taskwait markers / persistent-iteration
+    #: boundaries increment it) — the coarse happens-before relation.
+    segment: list[int]
+    #: Index of the originating spec within its iteration's task list
+    #: (-1 for redirect stubs).
+    spec_pos: list[int]
+    is_stub: list[bool]
+    fp_bytes: list[int]
+    flops: list[float]
+    #: Owning MPI rank per task (one rank per compiled program; kept as a
+    #: column so cluster-level views can concatenate artifacts).
+    owner: list[int]
+    # ---- accounting ---------------------------------------------------
+    stats: EdgeStats
+    #: Predicted producer busy seconds per iteration (empty when compiled
+    #: without a cost model; advisory — recompute from a
+    #: :class:`~repro.runtime.costs.DiscoveryCosts` when costs differ).
+    iteration_costs: list[float] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_tasks(self) -> int:
+        return len(self.indegree)
+
+    @property
+    def n_user_tasks(self) -> int:
+        return sum(1 for s in self.is_stub if not s)
+
+    @property
+    def n_stubs(self) -> int:
+        return sum(1 for s in self.is_stub if s)
+
+    @property
+    def n_edges(self) -> int:
+        """Materialized edges (with multiplicity), per the paper's counts."""
+        return len(self.succ_targets)
+
+    @property
+    def stub_tids(self) -> list[int]:
+        return [t for t, s in enumerate(self.is_stub) if s]
+
+    @property
+    def user_tids(self) -> list[int]:
+        """Non-stub tids in submission order (the replay template)."""
+        return [t for t, s in enumerate(self.is_stub) if not s]
+
+    def successors(self, tid: int) -> list[int]:
+        return self.succ_targets[self.succ_offsets[tid]:self.succ_offsets[tid + 1]]
+
+    def unique_edges(self) -> set[tuple[int, int]]:
+        """Distinct ``(pred, succ)`` pairs (multiplicity folded)."""
+        offsets, targets = self.succ_offsets, self.succ_targets
+        return {
+            (p, s)
+            for p in range(self.n_tasks)
+            for s in targets[offsets[p]:offsets[p + 1]]
+        }
+
+    def replay_costs(self, costs: "DiscoveryCosts") -> list[float]:
+        """Per-task re-instancing cost under ``costs``, aligned by tid.
+
+        Stubs replay for free (they are re-armed wholesale at the
+        barrier, not walked by the producer).
+        """
+        c_replay, c_fp = costs.c_replay, costs.c_fp_byte
+        return [
+            0.0 if stub else c_replay + c_fp * fp
+            for stub, fp in zip(self.is_stub, self.fp_bytes)
+        ]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_table(
+        cls,
+        table: "TaskTable",
+        *,
+        key: str,
+        segment: Sequence[int],
+        spec_pos: Sequence[int],
+        owner: int = 0,
+        iteration_costs: Sequence[float] = (),
+    ) -> "CompiledTDG":
+        """Freeze a discovered :class:`~repro.sim.table.TaskTable`.
+
+        Cheap by design (one CSR flatten plus column copies): the runtime
+        calls this at the first persistent barrier, on the hot path of an
+        uncached run.  ``segment`` and ``spec_pos`` are supplied by the
+        caller — the table does not track them.
+        """
+        n = len(table)
+        if len(segment) != n or len(spec_pos) != n:
+            raise ValueError(
+                f"segment/spec_pos must align with the table "
+                f"({len(segment)}/{len(spec_pos)} vs {n} tasks)"
+            )
+        offsets, targets = table.build_csr()
+        stats = EdgeStats()
+        stats.merge(table.stats)
+        return cls(
+            key=key,
+            persistent=table.persistent,
+            succ_offsets=offsets,
+            succ_targets=targets,
+            indegree=list(table.npred_initial),
+            name=list(table.name),
+            loop_id=list(table.loop_id),
+            iteration=list(table.iteration),
+            segment=list(segment),
+            spec_pos=list(spec_pos),
+            is_stub=list(table.is_stub),
+            fp_bytes=list(table.fp_bytes),
+            flops=list(table.flops),
+            owner=[owner] * n,
+            stats=stats,
+            iteration_costs=list(iteration_costs),
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-ready dict; inverse of :meth:`from_dict`."""
+        return {
+            "key": self.key,
+            "persistent": self.persistent,
+            "succ_offsets": self.succ_offsets,
+            "succ_targets": self.succ_targets,
+            "indegree": self.indegree,
+            "name": self.name,
+            "loop_id": self.loop_id,
+            "iteration": self.iteration,
+            "segment": self.segment,
+            "spec_pos": self.spec_pos,
+            "is_stub": self.is_stub,
+            "fp_bytes": self.fp_bytes,
+            "flops": self.flops,
+            "owner": self.owner,
+            "stats": self.stats.to_dict(),
+            "iteration_costs": self.iteration_costs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CompiledTDG":
+        d = dict(data)
+        d["stats"] = EdgeStats.from_dict(d["stats"])
+        d["is_stub"] = [bool(v) for v in d["is_stub"]]
+        return cls(**d)
+
+
+# ======================================================================
+# compilation
+# ======================================================================
+def compile_program(
+    program: "Program",
+    opts: "OptimizationSet",
+    *,
+    costs: Optional["DiscoveryCosts"] = None,
+    owner: int = 0,
+    keep_graph: bool = False,
+) -> "CompiledTDG | tuple[CompiledTDG, TaskGraph]":
+    """Statically discover ``program``'s TDG and freeze it.
+
+    Walks the program through the production
+    :class:`~repro.core.dependences.DependenceResolver` exactly as the
+    producer thread would, with no task ever executing:
+
+    - with optimization (p) active on a persistent candidate, only the
+      template iteration is resolved and every later iteration is a
+      replay (the implicit barrier resets the resolver) — matching the
+      runtime's persistent mode, and matching the artifact the runtime
+      snapshots at its first persistent barrier *by construction*;
+    - otherwise every iteration is resolved against the same address
+      map, so inter-iteration edges appear exactly as in a
+      non-persistent run.
+
+    Because no task completes during static discovery no edge is ever
+    pruned: edge counts match a persistent-mode or non-overlapped DES run
+    exactly.  ``costs`` fills :attr:`CompiledTDG.iteration_costs`;
+    ``keep_graph`` additionally returns the builder
+    :class:`~repro.core.graph.TaskGraph` (live :class:`Task` views for
+    the verify layer).
+    """
+    from repro.core.dependences import DependenceResolver
+    from repro.core.graph import TaskGraph
+
+    persistent = opts.p and program.persistent_candidate
+    graph = TaskGraph(persistent=persistent)
+    table = graph.table
+    resolver = DependenceResolver(table, opts)
+    segment: list[int] = []
+    spec_pos: list[int] = []
+    iteration_costs: list[float] = []
+    seg = 0
+
+    for it in program.iterations:
+        it_cost = 0.0
+        if persistent and it.index > 0:
+            # Replay: no resolution, only firstprivate copies.
+            if costs is not None:
+                it_cost = sum(
+                    costs.replay_cost(spec)
+                    for spec in it.tasks
+                    if not spec.barrier
+                )
+            iteration_costs.append(it_cost)
+            seg += 1  # the implicit end-of-iteration barrier
+            continue
+        for pos, spec in enumerate(it.tasks):
+            if spec.barrier:
+                seg += 1
+                continue
+            tid = table.new(
+                name=spec.name,
+                loop_id=spec.loop_id,
+                iteration=it.index,
+                flops=spec.flops,
+                footprint=spec.footprint,
+                fp_bytes=spec.fp_bytes,
+                comm=spec.comm,
+            )
+            segment.append(seg)
+            spec_pos.append(pos)
+            res = resolver.resolve_tid(tid, spec.depends)
+            table.npred_initial[tid] = table.npred[tid] + table.presat[tid]
+            for _stub in res.redirect_tids:
+                # Stubs are created during this task's resolution and
+                # share its barrier epoch.
+                segment.append(seg)
+                spec_pos.append(-1)
+            if costs is not None:
+                it_cost += costs.creation_cost(spec, res)
+        iteration_costs.append(it_cost)
+        if persistent:
+            resolver.reset()
+            seg += 1
+
+    compiled = CompiledTDG.from_table(
+        table,
+        key=structural_signature(program, opts),
+        segment=segment,
+        spec_pos=spec_pos,
+        owner=owner,
+        iteration_costs=iteration_costs if costs is not None else (),
+    )
+    if keep_graph:
+        return compiled, graph
+    return compiled
+
+
+# ======================================================================
+# the cache
+# ======================================================================
+class CompiledGraphCache:
+    """A directory of compiled graphs, content-addressed by signature.
+
+    Same idiom as the campaign :class:`~repro.campaign.cache.ResultCache`:
+    ``<root>/<key[:2]>/<key>.json`` entries written atomically (temp file
+    + ``os.replace``), safe under concurrent writers, resumable.  A hit
+    means "this exact program structure was already compiled" — by this
+    process, a campaign worker, or a previous run entirely.
+    """
+
+    #: Subdirectory name campaign caches use for their compiled graphs.
+    SUBDIR = "compiled"
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    @classmethod
+    def for_campaign(cls, cache_root: Union[str, Path]) -> "CompiledGraphCache":
+        """The compiled-graph cache nested inside a campaign cache dir."""
+        return cls(Path(cache_root) / cls.SUBDIR)
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def contains(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def get(self, key: str) -> Optional[CompiledTDG]:
+        """The cached artifact for ``key``, or None on miss/stale format."""
+        path = self.path_for(key)
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if doc.get("format") != COMPILED_FORMAT or doc.get("key") != key:
+            return None
+        return CompiledTDG.from_dict(doc["compiled"])
+
+    def put(self, compiled: CompiledTDG) -> Path:
+        """Store ``compiled`` under its key, atomically."""
+        key = compiled.key
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = canonical_json(
+            {"format": COMPILED_FORMAT, "key": key, "compiled": compiled.to_dict()}
+        )
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(doc)
+                fh.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def invalidate(self, key: str) -> bool:
+        """Drop a stale artifact (e.g. after a
+        :class:`~repro.core.persistent.PersistentStructureError`);
+        returns whether an entry existed."""
+        try:
+            os.unlink(self.path_for(key))
+            return True
+        except OSError:
+            return False
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def keys(self) -> list[str]:
+        """Sorted keys of every stored artifact."""
+        return sorted(p.stem for p in self.root.glob("*/*.json"))

@@ -38,6 +38,7 @@ from typing import Union
 from repro.core.graph import TaskGraph
 from repro.core.optimizations import OptimizationSet
 from repro.core.task import Dep, DepMode, Task
+from repro.sim.table import COMPLETED as _COMPLETED
 from repro.sim.table import TaskTable
 
 #: DepMode values as plain ints (the resolve loop compares ints).
@@ -114,19 +115,82 @@ class DependenceResolver:
         return res
 
     def resolve_tid(self, tid: int, depends: tuple[Dep, ...]) -> ResolutionResult:
-        """Create the edges implied by ``depends`` for freshly created ``tid``."""
+        """Create the edges implied by ``depends`` for freshly created ``tid``.
+
+        The IN and OUT/INOUT handlers are inlined here with the edge
+        loop of :meth:`~repro.sim.table.TaskTable.add_edge` open-coded
+        against hoisted table columns — one edge-creation attempt per
+        predecessor is the dominant operation count of discovery, and
+        per-edge bound-method dispatch and attribute loads dominate its
+        cost at simulation scale.  Semantics are identical to
+        ``add_edge``; the INOUTSET path and group closing stay in their
+        (rare) helpers.
+        """
         res = ResolutionResult(n_addrs=len(depends))
         addr_map = self._addr_map
+        table = self.table
+        last_succ, state, succs = table.last_succ, table.state, table.succs
+        npred, presat = table.npred, table.presat
+        prune = table.prune_completed
+        dedup = self._dedup
+        ne = ns = n_created = n_dup_skip = n_dup_made = n_pruned = 0
         for addr, mode in depends:
             st = addr_map.get(addr)
             if st is None:
                 st = addr_map[addr] = AddrState()
             if mode == _IN:
-                self._resolve_in(tid, st, res)
+                if st.ioset_open:
+                    self._close_ioset(st, res)
+                preds = st.writers
+                st.readers.append(tid)
             elif mode == _INOUTSET:
                 self._resolve_inoutset(tid, st, res)
+                continue
             else:  # OUT and INOUT are equivalent for ordering purposes
-                self._resolve_out(tid, st, res)
+                if st.ioset_open:
+                    self._close_ioset(st, res)
+                # Readers already transitively order this task after the
+                # writers; only a write-after-write with no intervening
+                # read needs direct writer edges.
+                preds = st.readers or st.writers
+                st.writers = [tid]
+                st.readers = []
+            for p in preds:
+                if p == tid:
+                    ns += 1
+                    continue
+                if last_succ[p] == tid:
+                    if dedup:
+                        n_dup_skip += 1
+                        ns += 1
+                        continue
+                    n_dup_made += 1
+                if state[p] == _COMPLETED:
+                    if prune:
+                        # The predecessor was consumed before this task
+                        # was discovered: no constraint is needed.
+                        n_pruned += 1
+                        ns += 1
+                        continue
+                    # Persistent graph: the edge must exist for future
+                    # iterations, but it is already satisfied now.
+                    succs[p].append(tid)
+                    last_succ[p] = tid
+                    presat[tid] += 1
+                else:
+                    succs[p].append(tid)
+                    last_succ[p] = tid
+                    npred[tid] += 1
+                n_created += 1
+                ne += 1
+        if ne or ns:
+            stats = table.stats
+            stats.created += n_created
+            stats.pruned += n_pruned
+            stats.duplicates_skipped += n_dup_skip
+            stats.duplicates_created += n_dup_made
+            res.n_edges += ne
+            res.n_skipped += ns
         return res
 
     # ------------------------------------------------------------------
@@ -162,49 +226,6 @@ class DependenceResolver:
                 table.npred[redirect] + table.presat[redirect]
             )
             st.writers = [redirect]
-
-    # ------------------------------------------------------------------
-    # The three mode handlers below inline their edge loops (bound
-    # ``add_edge``, local counters) instead of going through ``_edge`` —
-    # they account for one edge-creation attempt per predecessor, which is
-    # the dominant call count of the whole discovery path.
-    def _resolve_in(self, tid: int, st: AddrState, res: ResolutionResult) -> None:
-        if st.ioset_open:
-            self._close_ioset(st, res)
-        writers = st.writers
-        if writers:
-            add_edge = self.table.add_edge
-            dedup = self._dedup
-            ne = ns = 0
-            for w in writers:
-                if add_edge(w, tid, dedup=dedup):
-                    ne += 1
-                else:
-                    ns += 1
-            res.n_edges += ne
-            res.n_skipped += ns
-        st.readers.append(tid)
-
-    def _resolve_out(self, tid: int, st: AddrState, res: ResolutionResult) -> None:
-        if st.ioset_open:
-            self._close_ioset(st, res)
-        # Readers already transitively order this task after the writers;
-        # only a write-after-write with no intervening read needs direct
-        # writer edges.
-        preds = st.readers or st.writers
-        if preds:
-            add_edge = self.table.add_edge
-            dedup = self._dedup
-            ne = ns = 0
-            for p in preds:
-                if add_edge(p, tid, dedup=dedup):
-                    ne += 1
-                else:
-                    ns += 1
-            res.n_edges += ne
-            res.n_skipped += ns
-        st.writers = [tid]
-        st.readers = []
 
     def _resolve_inoutset(self, tid: int, st: AddrState, res: ResolutionResult) -> None:
         if st.ioset_open:

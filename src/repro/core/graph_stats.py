@@ -1,13 +1,20 @@
-"""Edge-accounting counters for TDG discovery.
+"""Edge accounting and shape metrics over frozen TDGs.
 
 Split out of :mod:`repro.core.graph` so the struct-of-arrays storage
 (:mod:`repro.sim.table`) can share the counters without importing the
-graph facade (which imports the table back).
+graph facade (which imports the table back).  The shape metrics
+(:func:`shape_from_csr`, :func:`width_profile_from_csr`) operate on the
+compiled CSR ``(offsets, targets)`` pair directly — the representation
+every frozen graph (:class:`~repro.core.compiled.CompiledTDG`,
+:meth:`~repro.sim.table.TaskTable.build_csr`) already holds — so depth,
+critical path and average parallelism need no per-task objects and no
+external graph library.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 
 @dataclass(slots=True)
@@ -44,3 +51,125 @@ class EdgeStats:
         self.duplicates_skipped += other.duplicates_skipped
         self.duplicates_created += other.duplicates_created
         self.redirect_nodes += other.redirect_nodes
+
+
+# ======================================================================
+# shape metrics over CSR graphs
+# ======================================================================
+@dataclass(frozen=True, slots=True)
+class GraphShape:
+    """Summary shape metrics of a discovered TDG."""
+
+    n_tasks: int
+    #: Distinct edges (duplicate/multiplicity folded, as a DiGraph would).
+    n_edges: int
+    #: Longest path length in tasks (depth of the DAG).
+    depth: int
+    #: Total weight along the weighted critical path.
+    critical_path_weight: float
+    #: Total weight over all tasks.
+    total_weight: float
+    #: total / critical-path weight: the graph's average parallelism —
+    #: an upper bound on speedup (Brent's bound).
+    avg_parallelism: float
+
+    def __str__(self) -> str:
+        return (
+            f"tasks={self.n_tasks} edges={self.n_edges} depth={self.depth} "
+            f"T1={self.total_weight:.4g} Tinf={self.critical_path_weight:.4g} "
+            f"avg-parallelism={self.avg_parallelism:.1f}"
+        )
+
+
+def shape_from_csr(
+    offsets: Sequence[int],
+    targets: Sequence[int],
+    weights: Sequence[float],
+) -> GraphShape:
+    """Shape metrics of a CSR graph in one Kahn pass.
+
+    ``targets[offsets[t]:offsets[t + 1]]`` are ``t``'s successors;
+    duplicate edges are harmless for depth/span (max over predecessors)
+    and are folded out of :attr:`GraphShape.n_edges`.  ``weights`` is the
+    per-node cost, aligned by node index.
+    """
+    n = len(offsets) - 1
+    if n <= 0:
+        return GraphShape(0, 0, 0, 0.0, 0.0, 0.0)
+    indeg = [0] * n
+    for s in targets:
+        indeg[s] += 1
+    depth = [1] * n
+    #: Longest weighted path *ending at* each node's predecessors.
+    pred_span = [0.0] * n
+    stack = [t for t in range(n) if indeg[t] == 0]
+    seen = 0
+    max_depth = 0
+    tinf = 0.0
+    unique = 0
+    while stack:
+        t = stack.pop()
+        seen += 1
+        d = depth[t]
+        span = pred_span[t] + weights[t]
+        if d > max_depth:
+            max_depth = d
+        if span > tinf:
+            tinf = span
+        nd = d + 1
+        succ = targets[offsets[t]:offsets[t + 1]]
+        unique += len(set(succ))
+        for s in succ:
+            if nd > depth[s]:
+                depth[s] = nd
+            if span > pred_span[s]:
+                pred_span[s] = span
+            indeg[s] -= 1
+            if indeg[s] == 0:
+                stack.append(s)
+    if seen != n:
+        raise ValueError("CSR graph contains a cycle")
+    total = sum(weights)
+    return GraphShape(
+        n_tasks=n,
+        n_edges=unique,
+        depth=max_depth,
+        critical_path_weight=tinf,
+        total_weight=total,
+        avg_parallelism=(total / tinf) if tinf > 0 else 0.0,
+    )
+
+
+def width_profile_from_csr(
+    offsets: Sequence[int], targets: Sequence[int]
+) -> list[int]:
+    """Tasks per depth level — the breadth the scheduler could exploit."""
+    n = len(offsets) - 1
+    if n <= 0:
+        return []
+    indeg = [0] * n
+    for s in targets:
+        indeg[s] += 1
+    level = [1] * n
+    stack = [t for t in range(n) if indeg[t] == 0]
+    seen = 0
+    max_level = 0
+    while stack:
+        t = stack.pop()
+        seen += 1
+        lv = level[t]
+        if lv > max_level:
+            max_level = lv
+        nl = lv + 1
+        for s in targets[offsets[t]:offsets[t + 1]]:
+            if nl > level[s]:
+                level[s] = nl
+            indeg[s] -= 1
+            if indeg[s] == 0:
+                stack.append(s)
+    if seen != n:
+        raise ValueError("CSR graph contains a cycle")
+    out = [0] * max_level
+    for lv in level:
+        out[lv - 1] += 1
+    return out

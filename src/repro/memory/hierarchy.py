@@ -150,9 +150,7 @@ class MemoryHierarchy:
         b1 = b2 = b3 = 0
         time = 0.0
         bytes_dram = 0
-        for entry in footprint:
-            chunk = entry[0]
-            nbytes = entry[1]
+        for chunk, nbytes in footprint:
             if nbytes <= 0:
                 continue
             if chunk in e1:

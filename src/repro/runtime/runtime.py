@@ -33,10 +33,11 @@ from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
+from repro.core.compiled import CompiledGraphCache, CompiledTDG, structural_signature
 from repro.core.dependences import DependenceResolver
 from repro.core.graph import TaskGraph
 from repro.core.optimizations import OptimizationSet
-from repro.core.persistent import PersistentRegion
+from repro.core.persistent import PersistentRegion, PersistentStructureError
 from repro.core.program import CommKind, CommSpec, Program, TaskSpec
 from repro.core.task import split_footprint
 from repro.core.throttling import ThrottleConfig
@@ -197,6 +198,7 @@ class TaskRuntime:
         comm: Optional["Communicator"] = None,
         rank: int = 0,
         bus: Optional[InstrumentationBus] = None,
+        compiled_cache: Optional["CompiledGraphCache"] = None,
     ) -> None:
         self.program = program
         self.config = config
@@ -241,6 +243,26 @@ class TaskRuntime:
         self._region: Optional[PersistentRegion] = None
         #: Template-iteration tids, 1:1 with its specs (persistent mode).
         self._template_tids: list[int] = []
+        # Compiled-TDG replay plan, built when the region freezes: arrays
+        # aligned with the template's spec positions (barrier markers get
+        # tid -1), plus the frozen stub tid list.  The fused replay chain
+        # walks these instead of re-deriving per-task state.
+        self._template_src: Optional[list[TaskSpec]] = None
+        self._plan_tids: list[int] = []
+        self._plan_costs: list[float] = []
+        self._plan_bodies: list = []
+        self._plan_n_user = 0
+        self._stub_tids: list[int] = []
+        # Per-tid submission times of the current bulk-armed chain
+        # (empty until the region freezes; 0.0 for stubs and past
+        # iterations, i.e. "already submitted").  Gates readiness of
+        # tasks whose predecessors complete before their submission
+        # point — the per-task arm events the bulk walk elides.
+        self._arm_time: list[float] = []
+        self._replay_iter_index = 0
+        self._compiled_cache = compiled_cache
+        self._compiled_info: Optional[dict] = None
+        self._compiled_key: Optional[str] = None
         #: Per-spec normalized footprint cache.  Programs built by
         #: ``Program.from_template`` share spec tuples across iterations,
         #: so each spec's footprint is normalized exactly once per run.
@@ -292,6 +314,16 @@ class TaskRuntime:
         self._should_block = config.throttle.should_block
         self._ready_cap = config.throttle.ready_cap
         self._total_cap = config.throttle.total_cap
+        # The fused replay chain is trace-equivalent only when the
+        # producer provably cannot throttle mid-iteration: no ready cap
+        # (the per-step n_ready check would need real producer events),
+        # and — checked per iteration — enough total-cap headroom for
+        # every template task.
+        self._fast_replay = config.throttle.ready_cap is None
+        self._plan_cap = (
+            float("inf") if config.throttle.total_cap is None
+            else config.throttle.total_cap
+        )
         self._creation_cost = config.discovery.creation_cost
         self._replay_cost = config.discovery.replay_cost
         self._non_overlapped = config.non_overlapped
@@ -355,6 +387,8 @@ class TaskRuntime:
                 "rank": self.rank,
             },
         )
+        if self._compiled_info is not None:
+            res.extra["compiled_tdg"] = dict(self._compiled_info)
         return res
 
     # ==================================================================
@@ -455,6 +489,27 @@ class TaskRuntime:
             return
         self._task_idx += 1
         if replaying:
+            if (
+                self._fast_replay
+                and iteration.tasks is self._template_src
+                and self._alive + self._plan_n_user < self._plan_cap
+            ):
+                # Bulk replay: this and every following user task up to
+                # the next taskwait arm in one pass over the frozen plan
+                # — submission times are a deterministic prefix sum of
+                # the frozen replay costs, so the whole chain is written
+                # as array stores here and only the observable moments
+                # get events (root tasks at their submission times, one
+                # chain-end event).  Tasks unblocked before their
+                # submission point are deferred by `_complete_task` via
+                # `_arm_time`.  Valid only when throttling provably
+                # cannot trigger mid-chain, so the producer walk carries
+                # no observable work; sharing the template's spec list
+                # (the `from_template` layout) guarantees the frozen
+                # per-task costs and bodies are this iteration's too.
+                self._replay_iter_index = iteration.index
+                self._bulk_replay(self._task_idx - 1, now)
+                return
             tid = self._template_tids[self._region_cursor]
             self._region_cursor += 1
             cost = self._replay_cost(spec)
@@ -539,6 +594,77 @@ class TaskRuntime:
         self._producer_state = "idle"
         self._schedule_producer()
 
+    def _bulk_replay(self, pos: int, now: float) -> None:
+        """Arm the replay chain starting at template position ``pos``.
+
+        One pass over the frozen plan performs every per-task arm as
+        plain array stores: submission time accumulates cost by cost
+        (bitwise the times the elided per-task events would have fired
+        at), and ``_arm_time`` records it so late-unblocked readiness is
+        gated identically.  Only tasks already unblocked here (roots of
+        the chain) get a timed `_root_ready` event; one `_chain_end`
+        event at the last submission time returns the producer to the
+        generic state machine (the next taskwait marker, or the
+        iteration barrier).
+        """
+        tb = self.table
+        created_at, iter_col, bodies = tb.created_at, tb.iteration, tb.body
+        armed, npred = tb.armed, tb.npred
+        plan_tids, plan_costs = self._plan_tids, self._plan_costs
+        plan_bodies = self._plan_bodies
+        arm_time = self._arm_time
+        it = self._replay_iter_index
+        root_ready = self._root_ready
+        batch: list = []
+        db = self.discovery_busy
+        end = len(plan_tids)
+        t = now
+        k = pos
+        while k < end:
+            tid = plan_tids[k]
+            if tid < 0:
+                break
+            cost = plan_costs[k]
+            t = t + cost
+            db += cost
+            created_at[tid] = t
+            iter_col[tid] = it
+            bodies[tid] = plan_bodies[k]
+            armed[tid] = True
+            arm_time[tid] = t
+            if npred[tid] == 0:
+                batch.append((t, root_ready, (tid,)))
+            k += 1
+        self.discovery_busy = db
+        n = k - pos
+        self._alive += n
+        self._iter_live += n
+        self._task_idx = k
+        self._region_cursor += n
+        self._disc_last = t
+        if t > self._last_activity:
+            self._last_activity = t
+        self._producer_state = "creating"
+        batch.append((t, self._chain_end, ()))
+        self.engine.push_many(batch)
+
+    def _root_ready(self, tid: int) -> None:
+        """Submission moment of a chain task with no pending predecessors."""
+        tb = self.table
+        if tb.npred[tid] == 0 and tb.state[tid] == _CREATED:
+            self._make_ready(tid, -1)
+
+    def _deferred_ready(self, tid: int) -> None:
+        """Submission moment of a chain task whose last predecessor
+        completed before it was submitted (pushed by `_complete_task`)."""
+        if self.table.state[tid] == _CREATED:
+            self._make_ready(tid, -1)
+
+    def _chain_end(self) -> None:
+        """Last submission of the bulk-armed chain: resume the walk."""
+        self._producer_state = "idle"
+        self._schedule_producer()
+
     def _end_persistent_iteration(self) -> None:
         """Implicit barrier reached: finalize or re-arm the persistent graph."""
         cbs = self.bus.barrier
@@ -556,25 +682,169 @@ class TaskRuntime:
                 template=template_specs,
                 user_tasks=[view(t) for t in self._template_tids],
             )
+            self._freeze_replay_plan(template_specs)
         # Dropping resolver state at the barrier is what removes
         # inter-iteration edges (§3.3).
         self.resolver.reset()
         if self._iter_idx >= self.program.n_iterations:
             self._finish_discovery()
             return
-        # Validate and re-arm for the next iteration.
-        self._region.validate_iteration(self.program.iterations[self._iter_idx])
+        # Validate and re-arm for the next iteration.  Iterations sharing
+        # the template's spec list (`Program.from_template`) are identical
+        # by construction — nothing to validate.
+        next_it = self.program.iterations[self._iter_idx]
+        if next_it.tasks is not self._template_src:
+            try:
+                self._region.validate_iteration(next_it)
+            except PersistentStructureError:
+                # The frozen graph no longer describes this program: any
+                # cached compiled artifact for it is stale.
+                self._invalidate_compiled()
+                raise
         self._region.rearm()
         self._region_cursor = 0
         # Stubs are re-armed wholesale; user tasks get walked by the producer.
-        tb = self.table
-        armed = tb.armed
-        for tid, is_stub in enumerate(tb.is_stub):
-            if is_stub:
-                armed[tid] = True
-                self._alive += 1
-                self._iter_live += 1
+        armed = self.table.armed
+        stubs = self._stub_tids
+        for tid in stubs:
+            armed[tid] = True
+        self._alive += len(stubs)
+        self._iter_live += len(stubs)
         self._producer_state = "idle"
+
+    def _freeze_replay_plan(self, template_specs: list[TaskSpec]) -> None:
+        """Build the frozen replay plan at the first persistent barrier.
+
+        One pass over the template: per-position tids (taskwait markers
+        get -1), per-position firstprivate-copy costs and bodies, and the
+        stub tid list the barrier re-arms wholesale.  Also resolves the
+        compiled-graph cache when one is attached.
+        """
+        self._template_src = self.program.iterations[0].tasks
+        tids = self._template_tids
+        plan_tids: list[int] = []
+        plan_costs: list[float] = []
+        plan_bodies: list = []
+        replay_cost = self._replay_cost
+        k = 0
+        for spec in template_specs:
+            if spec.barrier:
+                plan_tids.append(-1)
+                plan_costs.append(0.0)
+                plan_bodies.append(None)
+                continue
+            plan_tids.append(tids[k])
+            plan_costs.append(replay_cost(spec))
+            plan_bodies.append(spec.body)
+            k += 1
+        self._plan_tids = plan_tids
+        self._plan_costs = plan_costs
+        self._plan_bodies = plan_bodies
+        self._plan_n_user = k
+        # 0.0 (= submitted) everywhere; the bulk walk stamps each chain
+        # task's real submission time per iteration.  Stubs keep 0.0 —
+        # they are re-armed wholesale at the barrier, before any chain.
+        self._arm_time = [0.0] * self.table.n_tasks
+        self._stub_tids = [
+            tid for tid, s in enumerate(self.table.is_stub) if s
+        ]
+        if self._compiled_cache is not None:
+            self._publish_compiled(self._compiled_cache)
+
+    # ------------------------------------------------------------------
+    # compiled-TDG artifact
+    # ------------------------------------------------------------------
+    def compiled(self) -> CompiledTDG:
+        """Freeze the discovered TDG into a :class:`CompiledTDG`.
+
+        Persistent runs may call this any time after the first iteration
+        (the region is frozen); non-persistent runs after discovery ends.
+        The artifact is keyed by the program's structural signature, so
+        it equals what :func:`repro.core.compiled.compile_program` builds
+        for the same program and opts — by construction.
+        """
+        if self._persistent_mode and self._region is None:
+            raise RuntimeError("compiled(): persistent region not frozen yet")
+        if not self._persistent_mode and not self._discovery_done:
+            raise RuntimeError("compiled(): discovery has not finished")
+        if self._compiled_key is None:
+            self._compiled_key = structural_signature(
+                self.program, self.config.opts
+            )
+        segment, spec_pos = self._segment_columns()
+        art = CompiledTDG.from_table(
+            self.table,
+            key=self._compiled_key,
+            segment=segment,
+            spec_pos=spec_pos,
+            owner=self.rank,
+        )
+        if self._persistent_mode:
+            # Replay re-stamps the table's iteration column for tracing;
+            # the artifact describes the template iteration.
+            art.iteration = [0] * len(art.iteration)
+        return art
+
+    def _segment_columns(self) -> tuple[list[int], list[int]]:
+        """Reconstruct per-tid barrier segments and template positions.
+
+        Stub tids always follow the user task whose resolution created
+        them, so one joint walk over tids and submitted specs aligns
+        both columns.
+        """
+        is_stub = self.table.is_stub
+        segment: list[int] = []
+        spec_pos: list[int] = []
+        seg = 0
+        if self._persistent_mode:
+            walk = [self.program.iterations[0].tasks]
+        else:
+            walk = [it.tasks for it in self._iterations]
+        specs = iter(
+            (pos, spec) for tasks in walk for pos, spec in enumerate(tasks)
+        )
+        pos, spec = -1, None
+        for tid in range(len(is_stub)):
+            if is_stub[tid]:
+                segment.append(seg)
+                spec_pos.append(-1)
+                continue
+            pos, spec = next(specs)
+            while spec.barrier:
+                seg += 1
+                pos, spec = next(specs)
+            segment.append(seg)
+            spec_pos.append(pos)
+        return segment, spec_pos
+
+    def _publish_compiled(self, cache: CompiledGraphCache) -> None:
+        """Record the frozen graph in the compiled cache (hit or store).
+
+        A hit never alters the simulation — discovery already ran with
+        identical timing (the artifact is structural, not temporal); the
+        cache exists so *other* consumers (verify, analysis, partitioning,
+        later runs) skip recompiling, and the run reports hit/stored for
+        observability.
+        """
+        self._compiled_key = structural_signature(self.program, self.config.opts)
+        key = self._compiled_key
+        if cache.contains(key):
+            status = "hit"
+        else:
+            cache.put(self.compiled())
+            status = "stored"
+        self._compiled_info = {
+            "key": key,
+            "cache": status,
+            "n_tasks": len(self.table),
+            "n_edges": self.table.stats.created,
+        }
+
+    def _invalidate_compiled(self) -> None:
+        if self._compiled_cache is not None and self._compiled_key is not None:
+            self._compiled_cache.invalidate(self._compiled_key)
+            if self._compiled_info is not None:
+                self._compiled_info["cache"] = "invalidated"
 
     def _finish_discovery(self) -> None:
         if self._discovery_done:
@@ -833,12 +1103,28 @@ class TaskRuntime:
             self._n_released_edges += len(succ_list)
             npred = tb.npred
             armed = tb.armed
-            for succ in succ_list:
-                remaining = npred[succ] - 1
-                npred[succ] = remaining
-                if remaining == 0 and armed[succ] and state[succ] == _CREATED:
-                    self._make_ready(succ, w)
-                    n_ready_made += 1
+            arm_time = self._arm_time
+            if arm_time:
+                # Replay plan active: a successor unblocked before its
+                # submission point must wait for it (its elided arm
+                # event), exactly as an unarmed task would.
+                for succ in succ_list:
+                    remaining = npred[succ] - 1
+                    npred[succ] = remaining
+                    if remaining == 0 and armed[succ] and state[succ] == _CREATED:
+                        t_arm = arm_time[succ]
+                        if t_arm <= now:
+                            self._make_ready(succ, w)
+                            n_ready_made += 1
+                        else:
+                            self.engine.push(t_arm, self._deferred_ready, succ)
+            else:
+                for succ in succ_list:
+                    remaining = npred[succ] - 1
+                    npred[succ] = remaining
+                    if remaining == 0 and armed[succ] and state[succ] == _CREATED:
+                        self._make_ready(succ, w)
+                        n_ready_made += 1
         if n_ready_made:
             self._wake_workers(n_ready_made)
         if self._producer_state in ("throttled", "barrier", "taskwait"):

@@ -259,24 +259,19 @@ class TaskTable:
 
         Only the dynamic execution state is cleared; the successor lists —
         the expensive part of discovery — are kept, which is exactly the
-        saving the persistent TDG extension provides.
+        saving the persistent TDG extension provides.  Columns are reset
+        by whole-column slice assignment (in place, so references held by
+        the runtime stay valid) — the bulk-array re-arm of the compiled
+        TDG layer, ~7n Python-level stores cheaper than a per-row loop.
         """
-        state = self.state
-        npred = self.npred
-        npred_initial = self.npred_initial
-        started = self.started_at
-        completed = self.completed_at
-        worker = self.worker
-        detach = self.detach_pending
-        armed = self.armed
-        for tid in range(len(state)):
-            state[tid] = CREATED
-            npred[tid] = npred_initial[tid]
-            started[tid] = _NAN
-            completed[tid] = _NAN
-            worker[tid] = -1
-            detach[tid] = False
-            armed[tid] = False
+        n = len(self.state)
+        self.state[:] = [CREATED] * n
+        self.npred[:] = self.npred_initial
+        self.started_at[:] = [_NAN] * n
+        self.completed_at[:] = [_NAN] * n
+        self.worker[:] = [-1] * n
+        self.detach_pending[:] = [False] * n
+        self.armed[:] = [False] * n
 
     # ------------------------------------------------------------------
     def view(self, tid: int) -> "Task":

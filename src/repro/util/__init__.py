@@ -11,10 +11,12 @@ from repro.util.units import (
     fmt_count,
     fmt_time,
 )
+from repro.util.interner import Interner
 from repro.util.rng import make_rng
 from repro.util.validation import check_positive, check_non_negative, check_in
 
 __all__ = [
+    "Interner",
     "GiB",
     "KiB",
     "MiB",

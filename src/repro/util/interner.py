@@ -1,0 +1,38 @@
+"""Dense-int interning of hashable keys.
+
+Dependence addresses and footprint chunk ids are arbitrary hashable
+values at the workload level (field names, ``(array, index)`` tuples);
+the resolver and the memory model want compact integers.  Every app
+builder used to carry its own copy of this three-line class — it lives
+here once now.
+"""
+
+from __future__ import annotations
+
+
+class Interner:
+    """Interns hashable keys to dense ints (addresses and chunk ids).
+
+    Keys are assigned 0, 1, 2, ... in first-seen order, so interning the
+    same key sequence always yields the same ids — a property the
+    structural signature of compiled TDGs relies on.
+    """
+
+    __slots__ = ("_table",)
+
+    def __init__(self) -> None:
+        self._table: dict[object, int] = {}
+
+    def __call__(self, key: object) -> int:
+        t = self._table
+        v = t.get(key)
+        if v is None:
+            v = len(t)
+            t[key] = v
+        return v
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._table

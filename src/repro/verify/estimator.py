@@ -1,28 +1,30 @@
-"""Discovery-cost prediction from the static TDG (rule ``V-DISC-BOUND``).
+"""Discovery-cost prediction from the compiled TDG (rule ``V-DISC-BOUND``).
 
 The paper's Fig. 1 shows the failure mode this pass predicts: as tasks per
 loop (TPL) grow, single-producer discovery time grows with the task and
 edge counts while per-task execution shrinks, until the run is *discovery
-bound* — workers starve behind the producer.  The estimator replays the
-program through :func:`~repro.verify.static_graph.discover_static` and
-charges the same :class:`~repro.runtime.costs.DiscoveryCosts` the DES
-charges, so the predicted edge counts are exact (no task completes during
-static discovery, hence no pruning — the counts equal a persistent-mode or
-non-overlapped DES run).  Execution is estimated from the graph shape
-(:func:`~repro.analysis.graphtools.analyze_shape`) as Brent's bound
+bound* — workers starve behind the producer.  The estimator compiles the
+program (:func:`~repro.verify.static_graph.discover_static`, backed by
+:func:`~repro.core.compiled.compile_program`) and charges the same
+:class:`~repro.runtime.costs.DiscoveryCosts` the DES charges, so the
+predicted edge counts are exact (no task completes during static
+discovery, hence no pruning — the counts equal a persistent-mode or
+non-overlapped DES run).  Execution is estimated from the compiled CSR
+arrays (:func:`~repro.core.graph_stats.shape_from_csr`) as Brent's bound
 ``max(T1 / threads, Tinf)``, with per-task weight
-``flops / flops_per_core + fp_bytes / dram_bw``.
+``flops / flops_per_core + fp_bytes / dram_bw`` read straight off the
+artifact's columns — no per-task objects are materialized.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Optional
 
-from repro.analysis.graphtools import analyze_shape
+from repro.core.compiled import CompiledTDG
+from repro.core.graph_stats import shape_from_csr
 from repro.core.optimizations import OptimizationSet
 from repro.core.program import Program
-from repro.core.task import Task
 from repro.memory.machine import MachineSpec
 from repro.runtime.costs import DiscoveryCosts
 from repro.verify.findings import Finding, Severity
@@ -90,16 +92,15 @@ class DiscoveryEstimate:
         }
 
 
-def _task_seconds(machine: MachineSpec) -> Callable[[Task], float]:
-    def weight(task: Task) -> float:
-        if task.is_stub:
-            return 0.0
-        return (
-            task.flops / machine.flops_per_core
-            + task.fp_bytes / machine.dram_bw
+def _task_seconds(compiled: CompiledTDG, machine: MachineSpec) -> list[float]:
+    """Per-tid execution-weight column (stubs at zero)."""
+    fpc, bw = machine.flops_per_core, machine.dram_bw
+    return [
+        0.0 if stub else flops / fpc + fp / bw
+        for stub, flops, fp in zip(
+            compiled.is_stub, compiled.flops, compiled.fp_bytes
         )
-
-    return weight
+    ]
 
 
 def estimate_discovery(
@@ -128,18 +129,23 @@ def estimate_discovery(
     steady = it_costs[-1] if len(it_costs) > 1 else first
     total = sum(it_costs)
 
-    shape = analyze_shape(tdg.graph, weight=_task_seconds(machine))
+    compiled = tdg.compiled
+    shape = shape_from_csr(
+        compiled.succ_offsets,
+        compiled.succ_targets,
+        _task_seconds(compiled, machine),
+    )
     per_graph_exec = max(
         shape.total_weight / max(threads, 1), shape.critical_path_weight
     )
     if tdg.persistent:
-        # The static graph holds one template iteration; the implicit
+        # The compiled graph holds one template iteration; the implicit
         # barrier makes whole-program execution n_iterations times it.
         exec_estimate = per_graph_exec * program.n_iterations
     else:
         exec_estimate = per_graph_exec
 
-    stats = tdg.graph.stats
+    stats = compiled.stats
     return (
         DiscoveryEstimate(
             program=program.name,

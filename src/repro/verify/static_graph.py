@@ -1,28 +1,20 @@
 """Static TDG discovery: resolve a program's dependences without the DES.
 
 The verification passes need the *graph* the runtime would discover — but
-not the timing of its execution.  This module walks a
-:class:`~repro.core.program.Program` through the production
-:class:`~repro.core.dependences.DependenceResolver` exactly as the producer
-thread would, with no task ever executing:
+not the timing of its execution.  The discovery itself lives in
+:func:`repro.core.compiled.compile_program`: one static walk through the
+production :class:`~repro.core.dependences.DependenceResolver` that
+freezes the result into a :class:`~repro.core.compiled.CompiledTDG` — the
+same CSR artifact the runtime snapshots at its first persistent barrier.
+Static-vs-DES edge equality is therefore equality *by construction*: both
+layers read one compiled graph, neither maintains a shadow.
 
-- with optimization (p) active on a persistent candidate, only the template
-  iteration is resolved and every later iteration is a replay (the implicit
-  barrier resets the resolver) — matching the runtime's persistent mode;
-- otherwise every iteration is resolved against the same address map, so
-  inter-iteration edges appear exactly as in a non-persistent run.
-
-Because no task completes during static discovery, no edge is ever pruned:
-the resulting :class:`~repro.core.graph.EdgeStats` match a DES run in
-non-overlapped mode, and match a persistent-mode DES run exactly (persistent
-graphs never prune).  That is what makes the discovery-cost *prediction* of
-:mod:`repro.verify.estimator` exact rather than approximate.
-
-The builder also assigns every task a *barrier segment*: ``taskwait``
-markers and persistent-iteration boundaries increment it.  Segments give the
-race detector its coarse happens-before relation (everything in segment *s*
-completes before anything in segment *t > s* starts); within a segment,
-ordering is graph reachability.
+This module keeps the verify-facing view: :class:`StaticNode` pairs each
+compiled row with its originating :class:`~repro.core.program.TaskSpec`
+and live :class:`~repro.core.task.Task` view, and :class:`StaticTDG` adds
+the happens-before relation the race detector queries — barrier *segments*
+(``taskwait`` markers and persistent-iteration boundaries order whole
+submission prefixes) refined by graph reachability within a segment.
 """
 
 from __future__ import annotations
@@ -30,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.core.dependences import DependenceResolver
+from repro.core.compiled import CompiledTDG, compile_program
 from repro.core.graph import TaskGraph
 from repro.core.optimizations import OptimizationSet
 from repro.core.program import Program, TaskSpec
@@ -42,7 +34,8 @@ from repro.runtime.costs import DiscoveryCosts
 class StaticNode:
     """One task of the statically discovered TDG."""
 
-    #: Dense index into :attr:`StaticTDG.nodes` (bit position for closures).
+    #: Dense index into :attr:`StaticTDG.nodes` — equals the compiled
+    #: artifact's ``tid`` (bit position for closures).
     index: int
     task: Task
     #: The originating spec; ``None`` for redirect stubs.
@@ -58,12 +51,19 @@ class StaticNode:
 
 @dataclass
 class StaticTDG:
-    """A statically discovered task dependency graph."""
+    """A statically discovered task dependency graph.
+
+    A thin verify-layer view over one :attr:`compiled` artifact; the
+    graph facade (live task views) rides along for the race detector's
+    footprint queries.
+    """
 
     program: Program
     opts: OptimizationSet
     #: Whether the walk ran in persistent (template + replay) mode.
     persistent: bool
+    #: The frozen CSR artifact all layers share.
+    compiled: CompiledTDG
     graph: TaskGraph
     nodes: list[StaticNode]
     #: Predicted producer busy seconds per iteration (empty without costs).
@@ -74,25 +74,22 @@ class StaticTDG:
     # ------------------------------------------------------------------
     @property
     def n_user_tasks(self) -> int:
-        return sum(1 for n in self.nodes if n.spec is not None)
+        return self.compiled.n_user_tasks
 
     @property
     def n_stubs(self) -> int:
-        return sum(1 for n in self.nodes if n.spec is None)
+        return self.compiled.n_stubs
 
     @property
     def n_edges(self) -> int:
-        return self.graph.stats.created
+        return self.compiled.stats.created
 
     def node_of(self, task: Task) -> StaticNode:
         return self._by_tid[task.tid]
 
     def unique_edges(self) -> set[tuple[int, int]]:
         """Distinct ``(pred index, succ index)`` pairs (multiplicity folded)."""
-        by = self._by_tid
-        return {
-            (by[p.tid].index, by[s.tid].index) for p, s in self.graph.iter_edges()
-        }
+        return self.compiled.unique_edges()
 
     # ------------------------------------------------------------------
     def ancestors(self) -> list[int]:
@@ -150,64 +147,40 @@ def discover_static(
     ``costs`` enables the per-iteration discovery-time prediction (the same
     :class:`~repro.runtime.costs.DiscoveryCosts` the runtime charges).
     """
-    persistent = opts.p and program.persistent_candidate
-    graph = TaskGraph(persistent=persistent)
-    resolver = DependenceResolver(graph, opts)
+    compiled, graph = compile_program(
+        program, opts, costs=costs, keep_graph=True
+    )
+    table = graph.table
+    iterations = program.iterations
     nodes: list[StaticNode] = []
     by_tid: dict[int, StaticNode] = {}
-    iteration_costs: list[float] = []
-    segment = 0
-
-    def register(task: Task, spec: Optional[TaskSpec], it_index: int) -> None:
+    cur_iter = 0
+    for tid in range(compiled.n_tasks):
+        pos = compiled.spec_pos[tid]
+        if pos >= 0:
+            cur_iter = compiled.iteration[tid]
+            spec = iterations[cur_iter].tasks[pos]
+        else:
+            # Redirect stub: created during the preceding user task's
+            # resolution, so it shares that task's iteration.
+            spec = None
         node = StaticNode(
-            index=len(nodes), task=task, spec=spec,
-            iteration=it_index, segment=segment,
+            index=tid,
+            task=table.view(tid),
+            spec=spec,
+            iteration=cur_iter,
+            segment=compiled.segment[tid],
         )
         nodes.append(node)
-        by_tid[task.tid] = node
-
-    for it in program.iterations:
-        it_cost = 0.0
-        if persistent and it.index > 0:
-            # Replay: no resolution, only firstprivate copies.
-            if costs is not None:
-                it_cost = sum(
-                    costs.replay_cost(spec) for spec in it.tasks if not spec.barrier
-                )
-            iteration_costs.append(it_cost)
-            segment += 1  # the implicit end-of-iteration barrier
-            continue
-        for spec in it.tasks:
-            if spec.barrier:
-                segment += 1
-                continue
-            task = graph.new_task(
-                name=spec.name,
-                loop_id=spec.loop_id,
-                iteration=it.index,
-                flops=spec.flops,
-                footprint=spec.footprint,
-                fp_bytes=spec.fp_bytes,
-                comm=spec.comm,
-            )
-            register(task, spec, it.index)
-            res = resolver.resolve(task, spec.depends)
-            task.npred_initial = task.npred + task.presat
-            for stub in res.redirect_tasks:
-                register(stub, None, it.index)
-            if costs is not None:
-                it_cost += costs.creation_cost(spec, res)
-        iteration_costs.append(it_cost)
-        if persistent:
-            resolver.reset()
-            segment += 1
+        by_tid[tid] = node
 
     return StaticTDG(
         program=program,
         opts=opts,
-        persistent=persistent,
+        persistent=compiled.persistent,
+        compiled=compiled,
         graph=graph,
         nodes=nodes,
-        iteration_costs=iteration_costs if costs is not None else [],
+        iteration_costs=list(compiled.iteration_costs),
         _by_tid=by_tid,
     )

@@ -1,0 +1,51 @@
+"""Legacy factory-based entry points must warn before they disappear."""
+
+import pytest
+
+from repro.analysis.calibration import scaled_network
+from repro.analysis.distributed import run_hpcg_cluster, run_lulesh_cluster
+from repro.analysis.sweep import run_sweep
+from repro.apps.hpcg import HpcgConfig
+from repro.apps.lulesh import LuleshConfig, build_task_program
+from repro.cluster import RankGrid
+from repro.core import OptimizationSet
+from repro.memory import tiny_test_machine
+from repro.runtime import RuntimeConfig
+
+GRID = RankGrid(2, 1, 1)
+
+
+class TestDeprecationWarnings:
+    def test_run_sweep_warns(self):
+        def program_factory(tpl):
+            return build_task_program(LuleshConfig(s=8, iterations=1, tpl=tpl))
+
+        def config_factory(tpl):
+            return RuntimeConfig(
+                machine=tiny_test_machine(4),
+                opts=OptimizationSet.parse("ab"),
+            )
+
+        with pytest.warns(DeprecationWarning, match="run_spec_sweep"):
+            sweep = run_sweep([4, 8], program_factory, config_factory)
+        assert len(sweep.points) == 2
+
+    def test_run_lulesh_cluster_warns(self):
+        with pytest.warns(DeprecationWarning, match="run_experiment_cluster"):
+            res = run_lulesh_cluster(
+                GRID,
+                LuleshConfig(s=8, iterations=1, tpl=4),
+                n_threads=2,
+                network=scaled_network(),
+            )
+        assert res.n_ranks == 2
+
+    def test_run_hpcg_cluster_warns(self):
+        with pytest.warns(DeprecationWarning, match="run_experiment_cluster"):
+            res = run_hpcg_cluster(
+                GRID,
+                HpcgConfig(n_rows=1024, iterations=1, tpl=4),
+                n_threads=2,
+                network=scaled_network(),
+            )
+        assert res.n_ranks == 2

@@ -154,7 +154,13 @@ class TestSweepJobs:
         assert main(argv) == 0
         out = capsys.readouterr().out
         assert "best TPL=" in out
-        assert len(list(cache.rglob("*.json"))) == 3  # points landed in cache
+        # One result per point, plus one compiled-graph artifact per
+        # distinct program structure (3 TPLs) under compiled/.
+        results = [p for p in cache.rglob("*.json")
+                   if "compiled" not in p.parts]
+        compiled = [p for p in cache.rglob("*.json") if "compiled" in p.parts]
+        assert len(results) == 3
+        assert len(compiled) == 3
 
 
 class TestLintJsonDeterminism:

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.util import Interner
 from repro.util.rng import DEFAULT_SEED, make_rng
 from repro.util.units import GiB, KiB, MiB, fmt_bytes, fmt_count, fmt_time, ms, ns, us
 from repro.util.validation import check_in, check_non_negative, check_positive
@@ -62,6 +63,29 @@ class TestRng:
 
     def test_default_seed_constant(self):
         assert DEFAULT_SEED == 0x5EED
+
+
+class TestInterner:
+    def test_dense_ids_in_first_seen_order(self):
+        intern = Interner()
+        assert [intern(k) for k in ("x", ("a", 3), "x", "y")] == [0, 1, 0, 2]
+
+    def test_idempotent(self):
+        intern = Interner()
+        assert intern("addr") == intern("addr") == 0
+
+    def test_len_and_contains(self):
+        intern = Interner()
+        intern("x")
+        intern("y")
+        assert len(intern) == 2
+        assert "x" in intern
+        assert "z" not in intern
+
+    def test_same_sequence_same_ids(self):
+        keys = [("field", i % 3) for i in range(10)]
+        a, b = Interner(), Interner()
+        assert [a(k) for k in keys] == [b(k) for k in keys]
 
 
 class TestValidation:
