@@ -15,6 +15,14 @@ Usage::
 Emits ``BENCH_kernel.json``.  When ``benchmarks/baseline_kernel.json``
 exists (recorded pre-refactor with ``--save-baseline``), the report includes
 the speedup ratio against it and ``--check`` fails below ``--min-speedup``.
+
+The ``observability`` section measures what the `repro.obs` layer costs:
+the same case run on the default quiet bus (every hook ``None``) vs with
+a :class:`~repro.obs.TraceRecorder` attached, plus a microbenchmarked
+estimate of the quiet-bus *hook-check* tax — the ``cbs = bus.hook; if
+cbs:`` branch the discovery hot path pays per task even when nobody is
+listening.  ``--check`` also gates that tax at ``--max-hook-overhead``
+(default 5%) of the quiet wall time.
 """
 
 from __future__ import annotations
@@ -28,7 +36,9 @@ from pathlib import Path
 
 from repro.analysis.calibration import scaled_llvm, scaled_mpc, scaled_skylake
 from repro.apps.lulesh import LuleshConfig, build_task_program
+from repro.obs import TraceRecorder
 from repro.runtime.runtime import TaskRuntime
+from repro.sim import InstrumentationBus
 
 BASELINE_PATH = Path(__file__).parent / "baseline_kernel.json"
 
@@ -64,6 +74,75 @@ def run_case(name, s, iterations, tpl, make_config, repeats=1):
     return best
 
 
+def _hook_check_cost(loops: int = 200_000) -> float:
+    """Seconds per quiet-bus hook check (``cbs = bus.hook; if cbs:``).
+
+    This is the exact idiom every emission site in the runtime and the
+    TDG compiler uses; on a quiet bus the attribute is ``None`` and the
+    branch falls through.  Best of 5 timed loops, amortized per check.
+    """
+    bus = InstrumentationBus()
+    best = float("inf")
+    for _ in range(5):
+        t0 = time.perf_counter()
+        for _ in range(loops):
+            cbs = bus.task_create
+            if cbs:  # pragma: no cover - quiet bus: never taken
+                pass
+        best = min(best, time.perf_counter() - t0)
+    return best / loops
+
+
+def run_obs_case(name, s, iterations, tpl, make_config, repeats=1):
+    """Quiet bus vs attached recorder on one configuration.
+
+    Returns a record with both wall times, the recorder overhead ratio
+    (informational — observers are expected to cost something), and the
+    estimated fraction of the *quiet* wall time spent on the new
+    discovery-counter hook checks (``task_create``/``task_replay`` fire
+    once per task created or replayed, so the check count ≈ ``n_tasks``).
+    """
+    prog = build_task_program(
+        LuleshConfig(s=s, iterations=iterations, tpl=tpl, flops_per_item=25.0),
+        opt_a=False,
+    )
+    quiet = attached = None
+    n_tasks = n_spans = 0
+    for _ in range(repeats):
+        rt = TaskRuntime(prog, make_config())
+        t0 = time.perf_counter()
+        result = rt.run()
+        wall = time.perf_counter() - t0
+        n_tasks = result.n_tasks
+        quiet = wall if quiet is None else min(quiet, wall)
+
+        bus = InstrumentationBus()
+        recorder = TraceRecorder()
+        bus.attach(recorder)
+        rt = TaskRuntime(prog, make_config(), bus=bus)
+        t0 = time.perf_counter()
+        rt.run()
+        wall = time.perf_counter() - t0
+        n_spans = recorder.n_spans
+        attached = wall if attached is None else min(attached, wall)
+
+    check_cost = _hook_check_cost()
+    hook_overhead = check_cost * n_tasks / quiet if quiet > 0 else 0.0
+    return {
+        "case": name,
+        "s": s,
+        "iterations": iterations,
+        "tpl": tpl,
+        "n_tasks": n_tasks,
+        "n_spans_recorded": n_spans,
+        "quiet_wall_s": quiet,
+        "recorder_wall_s": attached,
+        "recorder_overhead_ratio": attached / quiet if quiet > 0 else 0.0,
+        "hook_check_cost_s": check_cost,
+        "quiet_hook_overhead_frac": hook_overhead,
+    }
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--tiny", action="store_true",
@@ -79,6 +158,9 @@ def main(argv=None) -> int:
     ap.add_argument("--min-speedup", type=float, default=1.5)
     ap.add_argument("--min-replay-speedup", type=float, default=1.3,
                     help="gate for the persistent replay case (default 1.3)")
+    ap.add_argument("--max-hook-overhead", type=float, default=0.05,
+                    help="gate: quiet-bus hook-check tax as a fraction of "
+                         "quiet wall time (default 0.05)")
     args = ap.parse_args(argv)
 
     machine = scaled_skylake()
@@ -103,10 +185,21 @@ def main(argv=None) -> int:
     results = [run_case(name, s, i, tpl, mk, rep)
                for name, s, i, tpl, mk, rep in cases]
 
+    # Observability cost: the headline case, quiet bus vs attached
+    # recorder (tiny scale reuses the tiny LLVM point).
+    if args.tiny:
+        obs = run_obs_case("obs-lulesh-llvm-tpl64-tiny", 16, 2, 64,
+                           lambda: scaled_llvm(machine, name="llvm"), 1)
+    else:
+        obs = run_obs_case("obs-lulesh-llvm-tpl1152", 48, 4, 1152,
+                           lambda: scaled_llvm(machine, name="llvm"),
+                           args.repeats)
+
     report = {
         "python": platform.python_version(),
         "scale": "tiny" if args.tiny else "full",
         "cases": results,
+        "observability": obs,
     }
 
     baseline = None
@@ -130,6 +223,11 @@ def main(argv=None) -> int:
         if "speedup_vs_baseline" in rec:
             line += f"  ({rec['speedup_vs_baseline']:.2f}x vs baseline)"
         print(line)
+    print(f"{obs['case']}: quiet {obs['quiet_wall_s']:.3f}s  "
+          f"recorder {obs['recorder_wall_s']:.3f}s  "
+          f"({obs['recorder_overhead_ratio']:.2f}x, "
+          f"{obs['n_spans_recorded']:,} spans)  "
+          f"hook-check tax {obs['quiet_hook_overhead_frac']:.2%}")
 
     if args.check:
         # Two gates: the headline discovery-bound case (listed first; the
@@ -152,6 +250,17 @@ def main(argv=None) -> int:
                       file=sys.stderr)
                 return 1
             print(f"OK: {rec['case']} speedup {ratio:.2f}x >= {floor}x")
+        # Third gate: the counter hooks must stay ~free when nobody
+        # listens.  The estimate is (microbenchmarked per-check cost) x
+        # (one check per task) over the quiet wall time.
+        frac = obs["quiet_hook_overhead_frac"]
+        if frac > args.max_hook_overhead:
+            print(f"FAIL: {obs['case']} quiet-bus hook-check tax "
+                  f"{frac:.2%} > {args.max_hook_overhead:.0%}",
+                  file=sys.stderr)
+            return 1
+        print(f"OK: {obs['case']} quiet-bus hook-check tax {frac:.2%} "
+              f"<= {args.max_hook_overhead:.0%}")
     return 0
 
 

@@ -107,7 +107,11 @@ def _neighbors_factory(spec: ExperimentSpec, grid=None):
 
 
 def run_experiment_cluster(
-    spec: ExperimentSpec, *, profiled_rank: Optional[int] = None, grid=None
+    spec: ExperimentSpec,
+    *,
+    profiled_rank: Optional[int] = None,
+    grid=None,
+    bus=None,
 ) -> "ClusterResult":
     """Execute a coupled run and return every rank's result.
 
@@ -115,6 +119,9 @@ def run_experiment_cluster(
     task trace — and only if the spec's config asks for tracing at all —
     keeping memory bounded like the paper's single-rank profiling.
     ``grid`` overrides the cubic rank layout (see :func:`build_programs`).
+    ``bus`` is handed to the cluster as the shared per-rank
+    :class:`~repro.sim.InstrumentationBus` — attach observers *before*
+    calling, so they see each runtime's ``register`` event.
     """
     from repro.cluster.cluster import Cluster
     from repro.cluster.mapping import RankGrid
@@ -139,7 +146,7 @@ def run_experiment_cluster(
         for r in range(spec.ranks)
     ]
     network = spec.network if spec.network is not None else bxi_like()
-    cluster = Cluster(spec.ranks, network=network)
+    cluster = Cluster(spec.ranks, network=network, bus=bus)
     out = cluster.run(programs, configs)
     out.results[profiled].extra["profiled"] = True
     return out
@@ -149,6 +156,7 @@ def run_experiment(
     spec: ExperimentSpec,
     *,
     compiled_cache: Optional["CompiledGraphCache"] = None,
+    bus=None,
 ) -> RunResult:
     """Execute one :class:`ExperimentSpec` to completion.
 
@@ -159,7 +167,10 @@ def run_experiment(
     runs: persistent runs publish their frozen TDG artifact there (and
     report hit/stored under ``extra["compiled_tdg"]``); runs without a
     cache skip signature hashing entirely, so their serialized results
-    are unchanged.
+    are unchanged.  ``bus`` is handed to the runtime(s) as their
+    :class:`~repro.sim.InstrumentationBus`; attach observers before
+    calling (the bus carries no state, so a quiet bus keeps the
+    determinism contract).
     """
     if spec.ranks == 1:
         cfg = derive_config(spec)
@@ -169,9 +180,11 @@ def run_experiment(
             from repro.mpi.network import bxi_like
 
             network = spec.network if spec.network is not None else bxi_like()
-            res = Cluster(1, network=network).run([program], [cfg]).results[0]
+            res = Cluster(1, network=network, bus=bus).run(
+                [program], [cfg]
+            ).results[0]
         else:
-            rt = TaskRuntime(program, cfg, compiled_cache=compiled_cache)
+            rt = TaskRuntime(program, cfg, compiled_cache=compiled_cache, bus=bus)
             res = rt.run()
             if rt.accelerator is not None:
                 st = rt.accelerator.stats
@@ -184,7 +197,7 @@ def run_experiment(
                     "utilization": rt.accelerator.utilization(res.makespan),
                 }
     else:
-        out = run_experiment_cluster(spec)
+        out = run_experiment_cluster(spec, bus=bus)
         profiled = next(
             r for r, rr in enumerate(out.results) if rr.extra.get("profiled")
         )

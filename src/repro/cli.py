@@ -8,8 +8,12 @@ Gives shell access to the main experiment flows:
   (``--jobs N`` fans the points out over worker processes);
 - ``campaign`` — execute a JSON spec file of experiment runs through the
   cached, resumable campaign engine;
+- ``profile`` — run one workload with the :mod:`repro.obs` recorder
+  attached: text report, counters JSON, Perfetto trace, NDJSON log, and
+  ``--diff`` between two counters snapshots;
 - ``validate`` — the three numeric end-to-end validations;
-- ``info`` — machine/network/cost-model presets.
+- ``info`` — machine/network/cost-model presets, bus hook catalogue and
+  verify rules (``--json`` for tooling).
 
 Every run command builds an :class:`~repro.campaign.spec.ExperimentSpec`
 and goes through :func:`~repro.campaign.runner.run_experiment` — the
@@ -327,33 +331,141 @@ def cmd_lint(args) -> int:
     return 1 if report.at_least(threshold) else 0
 
 
+def cmd_profile(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs import (
+        check_counters_doc,
+        diff_counters,
+        profile_spec,
+        render_diff,
+        text_report,
+        to_perfetto,
+        write_ndjson,
+        write_perfetto,
+    )
+    from repro.util.serde import canonical_json
+
+    if args.diff:
+        a = check_counters_doc(json.loads(Path(args.diff[0]).read_text()))
+        b = check_counters_doc(json.loads(Path(args.diff[1]).read_text()))
+        delta = diff_counters(a, b)
+        print(canonical_json(delta) if args.json else render_diff(delta))
+        return 1 if delta else 0
+
+    config = _config(args)
+    if args.app == "lulesh":
+        params = {"s": args.s, "iterations": args.i, "tpl": args.tpl}
+        ranks = args.ranks
+    elif args.app == "hpcg":
+        params = {"n_rows": args.rows, "iterations": args.i, "tpl": args.tpl}
+        ranks = args.ranks
+    else:  # cholesky: ranks are fixed by the tile grid (1x1 here)
+        params = {"n": args.n, "b": args.b, "iterations": args.i}
+        ranks = 1
+    spec = ExperimentSpec(
+        app=args.app,
+        config=config,
+        params=params,
+        engine=args.engine,
+        ranks=ranks,
+        seed=config.seed,
+    )
+    report = profile_spec(spec)
+    if report.cp is not None:
+        # The structural invariants (measured >= static T-inf, slack
+        # consistency) hold by construction; fail loudly if they don't.
+        report.cp.check()
+
+    written: list[str] = []
+    if args.counters:
+        Path(args.counters).write_text(canonical_json(report.counters) + "\n")
+        written.append(args.counters)
+    if args.trace:
+        edges = report.cp.path_edges() if report.cp is not None else None
+        write_perfetto(
+            args.trace,
+            to_perfetto(
+                report.recorder, edges=edges, edge_rank=report.profiled_rank
+            ),
+        )
+        written.append(args.trace)
+    if args.ndjson:
+        write_ndjson(args.ndjson, report.recorder)
+        written.append(args.ndjson)
+
+    if args.json:
+        doc = {
+            "spec_key": spec.key,
+            "label": spec.label,
+            "makespan": report.result.makespan,
+            "counters": report.counters,
+            "critical_path": (
+                None if report.cp is None else report.cp.to_dict()
+            ),
+        }
+        print(canonical_json(doc))
+    else:
+        print(text_report(report))
+        for path in written:
+            print(f"wrote {path}")
+    return 0
+
+
 def cmd_info(args) -> int:
     from repro.memory.machine import epyc_7763_numa, skylake_8168
     from repro.mpi.network import bxi_like
     from repro.runtime.costs import DiscoveryCosts, SchedulerCosts
+    from repro.sim import HOOK_DOCS
+    from repro.verify import PASSES, RULES
 
-    for m in (skylake_8168(), epyc_7763_numa(), scaled_skylake(), scaled_epyc()):
+    machines = [skylake_8168(), epyc_7763_numa(), scaled_skylake(), scaled_epyc()]
+    n = bxi_like()
+    d = DiscoveryCosts()
+    s = SchedulerCosts()
+
+    if args.json:
+        from repro.util.serde import canonical_json
+
+        doc = {
+            "machines": [m.to_dict() for m in machines],
+            "network": n.to_dict(),
+            "discovery_costs": d.to_dict(),
+            "scheduler_costs": s.to_dict(),
+            "bus_hooks": {
+                name: {"signature": sig, "description": desc}
+                for name, (sig, desc) in HOOK_DOCS.items()
+            },
+            "verify_passes": list(PASSES),
+            "verify_rules": dict(RULES),
+        }
+        print(canonical_json(doc))
+        return 0
+
+    for m in machines:
         print(f"{m.name:>18}: {m.n_cores} cores, L1 {m.l1_bytes // 1024}K, "
               f"L2 {m.l2_bytes // 1024}K, L3 {m.l3_bytes // 1024}K, "
               f"DRAM {m.dram_bw / 1e9:.0f} GB/s")
-    n = bxi_like()
     print(f"\nnetwork: latency {n.latency * 1e6:.1f}us, "
           f"bw {n.bandwidth / 1e9:.1f} GB/s, eager <= {n.eager_threshold}B")
-    d = DiscoveryCosts()
     print(f"discovery costs: task {d.c_task * 1e6:.2f}us, "
           f"dep {d.c_dep * 1e6:.2f}us, edge {d.c_edge * 1e6:.2f}us, "
           f"replay {d.c_replay * 1e6:.2f}us")
-    s = SchedulerCosts()
     print(f"scheduler costs: pop {s.c_pop * 1e6:.2f}us, "
           f"steal {s.c_steal * 1e6:.2f}us, complete {s.c_complete * 1e6:.2f}us")
 
-    from repro.verify import PASSES, RULES
+    print("\ninstrumentation bus hooks (subscribe with on_<hook> methods, "
+          "see repro.sim.bus):")
+    for name, (sig, desc) in HOOK_DOCS.items():
+        print(f"  {name:>13}{sig}: {desc}")
 
     print(f"\nverify passes ({', '.join(PASSES)}) — `repro lint` rules:")
     for rule, desc in RULES.items():
         print(f"  {rule:>14}: {desc}")
     print("\nanalysis: graphtools (TDG shape/width), sweep (TPL curves), "
-          "calibration (scaled presets), distributed (cluster runs)")
+          "calibration (scaled presets), distributed (cluster runs); "
+          "obs: `repro profile` (trace/counters/critical path)")
     return 0
 
 
@@ -451,7 +563,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(fn=cmd_lint)
 
-    p = sub.add_parser("info", help="print presets and cost model")
+    p = sub.add_parser(
+        "profile",
+        help="run with the observability recorder attached "
+             "(report, counters JSON, Perfetto trace)",
+    )
+    _add_runtime_args(p)
+    p.add_argument("app", nargs="?", default="lulesh",
+                   choices=("lulesh", "hpcg", "cholesky"),
+                   help="workload to profile (default: lulesh)")
+    p.add_argument("-s", type=int, default=16, help="LULESH edge elements")
+    p.add_argument("-i", type=int, default=3, help="iterations")
+    p.add_argument("--tpl", type=int, default=32, help="tasks per loop")
+    p.add_argument("--rows", type=int, default=8192, help="HPCG local rows")
+    p.add_argument("-n", type=int, default=512, help="Cholesky dimension")
+    p.add_argument("-b", type=int, default=128, help="Cholesky tile size")
+    p.add_argument("--ranks", type=int, default=1, help="MPI ranks (cube)")
+    p.add_argument("--engine", choices=("task", "forloop"), default="task",
+                   help="execution engine (default: task)")
+    p.add_argument("--trace", default=None, metavar="OUT.json",
+                   help="write a Perfetto/Chrome trace (open in "
+                        "ui.perfetto.dev)")
+    p.add_argument("--counters", default=None, metavar="OUT.json",
+                   help="write the discovery-counters JSON snapshot")
+    p.add_argument("--ndjson", default=None, metavar="OUT.ndjson",
+                   help="write the NDJSON event log")
+    p.add_argument("--diff", nargs=2, default=None, metavar=("A", "B"),
+                   help="compare two counters JSON snapshots and exit "
+                        "(nonzero when they differ)")
+    p.add_argument("--json", action="store_true",
+                   help="print a deterministic JSON summary instead of text")
+    p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser(
+        "info", help="print presets, cost model and the bus hook catalogue"
+    )
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable preset/hook/rule dump")
     p.set_defaults(fn=cmd_info)
 
     return parser

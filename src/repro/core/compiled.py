@@ -285,6 +285,7 @@ def compile_program(
     costs: Optional["DiscoveryCosts"] = None,
     owner: int = 0,
     keep_graph: bool = False,
+    bus=None,
 ) -> "CompiledTDG | tuple[CompiledTDG, TaskGraph]":
     """Statically discover ``program``'s TDG and freeze it.
 
@@ -306,7 +307,11 @@ def compile_program(
     exactly.  ``costs`` fills :attr:`CompiledTDG.iteration_costs`;
     ``keep_graph`` additionally returns the builder
     :class:`~repro.core.graph.TaskGraph` (live :class:`Task` views for
-    the verify layer).
+    the verify layer).  ``bus`` (an
+    :class:`~repro.sim.InstrumentationBus`) receives the same
+    ``task_create`` events a DES producer would emit, with time 0.0
+    (static compilation has no clock) — discovery counters work
+    identically on compiled and simulated discovery.
     """
     from repro.core.dependences import DependenceResolver
     from repro.core.graph import TaskGraph
@@ -315,6 +320,7 @@ def compile_program(
     graph = TaskGraph(persistent=persistent)
     table = graph.table
     resolver = DependenceResolver(table, opts)
+    create_cbs = bus.task_create if bus is not None else None
     segment: list[int] = []
     spec_pos: list[int] = []
     iteration_costs: list[float] = []
@@ -355,8 +361,11 @@ def compile_program(
                 # share its barrier epoch.
                 segment.append(seg)
                 spec_pos.append(-1)
-            if costs is not None:
-                it_cost += costs.creation_cost(spec, res)
+            cost = costs.creation_cost(spec, res) if costs is not None else 0.0
+            it_cost += cost
+            if create_cbs:
+                for cb in create_cbs:
+                    cb(table, tid, res, cost, 0.0)
         iteration_costs.append(it_cost)
         if persistent:
             resolver.reset()

@@ -74,6 +74,12 @@ class ResolutionResult:
     n_skipped: int = 0
     #: Redirect nodes created while resolving this task.
     n_redirects: int = 0
+    #: Duplicate edges eliminated by optimization (b) for this task.
+    n_dup_skipped: int = 0
+    #: Duplicate edges materialized because (b) is off.
+    n_dup_created: int = 0
+    #: Completed-predecessor edges pruned (non-persistent graphs).
+    n_pruned: int = 0
     #: Redirect stub tids (the runtime arms and counts them).
     redirect_tids: list[int] = field(default_factory=list)
     #: The stubs as :class:`Task` views — filled by :meth:`resolve`, empty
@@ -191,6 +197,9 @@ class DependenceResolver:
             stats.duplicates_created += n_dup_made
             res.n_edges += ne
             res.n_skipped += ns
+            res.n_dup_skipped += n_dup_skip
+            res.n_dup_created += n_dup_made
+            res.n_pruned += n_pruned
         return res
 
     # ------------------------------------------------------------------
@@ -217,8 +226,15 @@ class DependenceResolver:
             redirect = table.new_stub()
             res.n_redirects += 1
             res.redirect_tids.append(redirect)
+            stats = table.stats
+            dup_skip0 = stats.duplicates_skipped
+            dup_made0 = stats.duplicates_created
+            pruned0 = stats.pruned
             for w in st.writers:
                 self._edge(w, redirect, res)
+            res.n_dup_skipped += stats.duplicates_skipped - dup_skip0
+            res.n_dup_created += stats.duplicates_created - dup_made0
+            res.n_pruned += stats.pruned - pruned0
             # The stub's predecessor count is final as soon as its edges
             # exist (nothing adds predecessors later); snapshot it for
             # persistent replay before any completion can decrement it.
@@ -241,6 +257,10 @@ class DependenceResolver:
         if preds:
             add_edge = self.table.add_edge
             dedup = self._dedup
+            stats = self.table.stats
+            dup_skip0 = stats.duplicates_skipped
+            dup_made0 = stats.duplicates_created
+            pruned0 = stats.pruned
             ne = ns = 0
             for p in preds:
                 if add_edge(p, tid, dedup=dedup):
@@ -249,3 +269,6 @@ class DependenceResolver:
                     ns += 1
             res.n_edges += ne
             res.n_skipped += ns
+            res.n_dup_skipped += stats.duplicates_skipped - dup_skip0
+            res.n_dup_created += stats.duplicates_created - dup_made0
+            res.n_pruned += stats.pruned - pruned0

@@ -1,0 +1,207 @@
+"""Discovery-phase counters: *why* discovery time is what it is.
+
+:class:`DiscoveryCounters` is a bus subscriber accumulating one
+:class:`IterationCounters` row per (rank, iteration) from the
+``task_create`` / ``task_replay`` / ``register`` hooks.  The rows answer
+the paper's per-optimization questions directly:
+
+- optimization (b): ``dup_edges_skipped`` counts edges O(1)-deduplicated;
+  with (b) off the same accesses show up as ``dup_edges_created``;
+- optimization (c): ``redirect_nodes`` counts inserted redirect stubs and
+  :meth:`DiscoveryCounters.redirect_edges_saved` the m*n - (m+n) edges
+  they avoided (Fig. 4);
+- optimization (p): ``replay_stamps`` and ``fp_copy_bytes`` measure what a
+  persistent re-instancing actually does instead of resolving.
+
+Counters snapshots serialize to a versioned JSON document
+(:data:`COUNTERS_SCHEMA_VERSION`); :func:`diff_counters` compares two
+snapshots for regression triage across campaign cache entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+#: Version of the counters JSON document; bump on any key change so
+#: tooling can reject snapshots it does not understand.
+COUNTERS_SCHEMA_VERSION = 1
+
+#: ``repro profile --diff`` compares only these totals (plus derived
+#: redirect savings); per-iteration rows ride along for drill-down.
+_COUNTER_FIELDS = (
+    "tasks_created",
+    "addrs_resolved",
+    "edges_created",
+    "edges_skipped",
+    "dup_edges_skipped",
+    "dup_edges_created",
+    "edges_pruned",
+    "redirect_nodes",
+    "replay_stamps",
+    "fp_copy_bytes",
+    "creation_cost",
+    "replay_cost",
+)
+
+
+@dataclass(slots=True)
+class IterationCounters:
+    """Discovery counters for one (rank, iteration)."""
+
+    #: User tasks resolved through the dependence resolver.
+    tasks_created: int = 0
+    #: ``depend`` addresses processed.
+    addrs_resolved: int = 0
+    #: Edges materialized (including into/out of redirect nodes).
+    edges_created: int = 0
+    #: Edge creations avoided for any reason (dedup + prune + self).
+    edges_skipped: int = 0
+    #: Duplicate edges eliminated by optimization (b).
+    dup_edges_skipped: int = 0
+    #: Duplicate edges materialized because (b) is off.
+    dup_edges_created: int = 0
+    #: Completed-predecessor edges pruned (non-persistent graphs).
+    edges_pruned: int = 0
+    #: Redirect stubs inserted by optimization (c).
+    redirect_nodes: int = 0
+    #: Template tasks re-stamped by persistent replay (opt p).
+    replay_stamps: int = 0
+    #: Firstprivate bytes copied by persistent replay.
+    fp_copy_bytes: int = 0
+    #: Producer seconds charged for creations this iteration.
+    creation_cost: float = 0.0
+    #: Producer seconds charged for replay stamps this iteration.
+    replay_cost: float = 0.0
+
+    def add(self, other: "IterationCounters") -> None:
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def to_dict(self) -> dict:
+        return {f: getattr(self, f) for f in _COUNTER_FIELDS}
+
+
+class DiscoveryCounters:
+    """Bus subscriber accumulating per-(rank, iteration) discovery counters.
+
+    Attach to an :class:`~repro.sim.InstrumentationBus` *before* the
+    runtimes are constructed (their ``register`` events map task tables to
+    ranks); events from unregistered tables fall back to rank 0, so
+    single-runtime use works even when attached late.
+    """
+
+    __slots__ = ("rows", "_rank_of", "_tables")
+
+    def __init__(self) -> None:
+        #: ``(rank, iteration) -> IterationCounters`` in first-event order.
+        self.rows: dict[tuple[int, int], IterationCounters] = {}
+        self._rank_of: dict[int, int] = {}
+        self._tables: dict[int, object] = {}
+
+    # -- hooks ---------------------------------------------------------
+    def on_register(self, table, rank) -> None:
+        if table is not None:
+            self._rank_of[id(table)] = rank
+            self._tables[id(table)] = table
+
+    def on_task_create(self, table, tid, res, cost, time) -> None:
+        row = self._row(table, int(table.iteration[tid]))
+        row.tasks_created += 1
+        row.addrs_resolved += res.n_addrs
+        row.edges_created += res.n_edges
+        row.edges_skipped += res.n_skipped
+        row.dup_edges_skipped += res.n_dup_skipped
+        row.dup_edges_created += res.n_dup_created
+        row.edges_pruned += res.n_pruned
+        row.redirect_nodes += res.n_redirects
+        row.creation_cost += cost
+
+    def on_task_replay(self, table, tid, iteration, cost, time) -> None:
+        row = self._row(table, int(iteration))
+        row.replay_stamps += 1
+        row.fp_copy_bytes += int(table.fp_bytes[tid])
+        row.replay_cost += cost
+
+    # -- accessors -----------------------------------------------------
+    def _row(self, table, iteration: int) -> IterationCounters:
+        key = (self._rank_of.get(id(table), 0), iteration)
+        row = self.rows.get(key)
+        if row is None:
+            row = self.rows[key] = IterationCounters()
+        return row
+
+    def totals(self) -> IterationCounters:
+        """All ranks and iterations folded into one row."""
+        out = IterationCounters()
+        for row in self.rows.values():
+            out.add(row)
+        return out
+
+    def redirect_edges_saved(self) -> int:
+        """Edges avoided by optimization (c)'s redirect nodes (Fig. 4).
+
+        For a stub with m in-edges and n out-edges the unredirected graph
+        would hold m*n direct edges where the redirected one holds m+n;
+        summed over every stub of every registered table.  Computed from
+        the final table state (the saving of a redirect is only known
+        once its readers exist), so call after the run.
+        """
+        saved = 0
+        for table in self._tables.values():
+            succs, npred_initial = table.succs, table.npred_initial
+            for tid, is_stub in enumerate(table.is_stub):
+                if is_stub:
+                    m = int(npred_initial[tid])
+                    n = len(succs[tid])
+                    saved += max(0, m * n - (m + n))
+        return saved
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        """Versioned JSON-ready snapshot (deterministic key order)."""
+        per_iteration = [
+            {"rank": rank, "iteration": it, **self.rows[rank, it].to_dict()}
+            for rank, it in sorted(self.rows)
+        ]
+        totals = self.totals().to_dict()
+        totals["redirect_edges_saved"] = self.redirect_edges_saved()
+        return {
+            "schema": "repro.obs.counters",
+            "version": COUNTERS_SCHEMA_VERSION,
+            "totals": totals,
+            "per_iteration": per_iteration,
+        }
+
+
+def check_counters_doc(doc: dict) -> dict:
+    """Validate a counters JSON document's schema; returns ``doc``."""
+    if doc.get("schema") != "repro.obs.counters":
+        raise ValueError(f"not a counters document: schema={doc.get('schema')!r}")
+    if doc.get("version") != COUNTERS_SCHEMA_VERSION:
+        raise ValueError(
+            f"counters schema version {doc.get('version')!r} unsupported "
+            f"(expected {COUNTERS_SCHEMA_VERSION})"
+        )
+    for key in ("totals", "per_iteration"):
+        if key not in doc:
+            raise ValueError(f"counters document missing {key!r}")
+    return doc
+
+
+def diff_counters(a: dict, b: dict) -> dict:
+    """Compare two counters snapshots (``b`` relative to ``a``).
+
+    Returns ``{counter: {"a": x, "b": y, "delta": y - x}}`` for every
+    total that differs, empty when the snapshots agree — the regression
+    triage primitive behind ``repro profile --diff``.
+    """
+    check_counters_doc(a)
+    check_counters_doc(b)
+    out: dict = {}
+    keys = sorted(set(a["totals"]) | set(b["totals"]))
+    for key in keys:
+        va = a["totals"].get(key, 0)
+        vb = b["totals"].get(key, 0)
+        if va != vb:
+            out[key] = {"a": va, "b": vb, "delta": vb - va}
+    return out

@@ -1,0 +1,289 @@
+"""Trace exporters: Chrome-trace/Perfetto JSON and NDJSON event logs.
+
+Both exporters read a :class:`~repro.obs.recorder.TraceRecorder` and emit
+strict JSON — ``allow_nan=False`` throughout, so an in-flight MPI request
+(NaN completion time) can never leak an unparseable ``NaN`` token into a
+file: in the Perfetto export it becomes an *instant* event (posted, never
+completed), in NDJSON its ``complete`` field is ``null``.
+
+The Perfetto document is the Chrome trace-event JSON object format
+(https://ui.perfetto.dev loads it directly): one process per MPI rank,
+one thread per worker, ``X`` complete events for task bodies and finished
+MPI requests, ``i`` instants for barriers, and optional ``s``/``f`` flow
+arrows along TDG edges (the measured critical path, typically).
+
+Schema versioning: every exported document carries
+``schema = "repro.obs.trace"`` and ``version =`` :data:`TRACE_SCHEMA_VERSION`.
+The version bumps on any field change; consumers (CI's trace validation,
+``repro profile --diff`` tooling) reject versions they do not know
+instead of misreading them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Union
+
+import numpy as np
+
+from repro.obs.recorder import TraceRecorder
+
+#: Version of the exported trace documents (Perfetto and NDJSON share it).
+TRACE_SCHEMA_VERSION = 1
+
+#: Synthetic Chrome thread ids for non-worker tracks.
+_TID_DEVICE = 9998
+_TID_MPI = 9999
+_TID_RUNTIME = 9997
+
+
+def _us(t: float) -> float:
+    """Simulated seconds to trace microseconds."""
+    return t * 1e6
+
+
+def to_perfetto(
+    recorder: TraceRecorder,
+    *,
+    edges: Optional[Iterable[tuple[int, int]]] = None,
+    edge_rank: int = 0,
+) -> dict:
+    """Build the Chrome-trace/Perfetto JSON document for a recording.
+
+    ``edges`` draws flow arrows along the given ``(pred_tid, succ_tid)``
+    TDG edges, connected per iteration (persistent replay repeats tids);
+    pass the measured critical path's edges to make the binding chain
+    visible in the timeline.  ``edge_rank`` selects which rank's tid
+    space the edges refer to on a multi-rank recording.
+    """
+    names = recorder.name_table()
+    events: list[dict] = []
+
+    # -- track metadata -------------------------------------------------
+    ranks = sorted(set(recorder.span_rank)) or list(recorder.ranks) or [0]
+    for rank in ranks:
+        events.append(
+            {"ph": "M", "pid": rank, "name": "process_name",
+             "args": {"name": f"rank {rank}"}}
+        )
+    threads: set[tuple[int, int]] = set()
+    for i in range(recorder.n_spans):
+        w = recorder.span_worker[i]
+        threads.add((recorder.span_rank[i], _TID_DEVICE if w < 0 else w))
+    for rank, tid in sorted(threads):
+        label = "device" if tid == _TID_DEVICE else f"worker {tid}"
+        events.append(
+            {"ph": "M", "pid": rank, "tid": tid, "name": "thread_name",
+             "args": {"name": label}}
+        )
+
+    # -- task spans -----------------------------------------------------
+    span_index: dict[tuple[int, int, int], int] = {}
+    for i in range(recorder.n_spans):
+        w = recorder.span_worker[i]
+        rank = recorder.span_rank[i]
+        tid = recorder.span_tid[i]
+        it = recorder.span_iteration[i]
+        span_index[rank, tid, it] = i
+        events.append(
+            {
+                "ph": "X",
+                "pid": rank,
+                "tid": _TID_DEVICE if w < 0 else w,
+                "ts": _us(recorder.span_start[i]),
+                "dur": _us(recorder.span_end[i] - recorder.span_start[i]),
+                "name": names[recorder.span_name[i]],
+                "cat": "task",
+                "args": {
+                    "task": tid,
+                    "loop": recorder.span_loop[i],
+                    "iteration": it,
+                },
+            }
+        )
+
+    # -- barriers -------------------------------------------------------
+    # The barrier hook carries no rank; attribute to the sole registered
+    # rank (the common case), or rank 0 on a shared multi-rank bus.
+    barrier_pid = recorder.ranks[0] if len(recorder.ranks) == 1 else 0
+    for kind, t in zip(recorder.barrier_kind, recorder.barrier_time):
+        events.append(
+            {"ph": "i", "s": "p", "pid": barrier_pid, "tid": _TID_RUNTIME,
+             "ts": _us(t), "name": f"barrier:{kind}", "cat": "barrier"}
+        )
+    if recorder.barrier_kind:
+        events.append(
+            {"ph": "M", "pid": barrier_pid, "tid": _TID_RUNTIME,
+             "name": "thread_name", "args": {"name": "runtime"}}
+        )
+
+    # -- MPI requests ---------------------------------------------------
+    mpi_ranks: set[int] = set()
+    for rec in recorder.comm_records:
+        mpi_ranks.add(rec.rank)
+        args = {"peer": rec.peer, "nbytes": rec.nbytes, "iteration": rec.iteration}
+        if np.isnan(rec.complete_time):
+            events.append(
+                {"ph": "i", "s": "t", "pid": rec.rank, "tid": _TID_MPI,
+                 "ts": _us(rec.post_time), "cat": "mpi",
+                 "name": f"{rec.kind} (in flight)", "args": args}
+            )
+        else:
+            events.append(
+                {"ph": "X", "pid": rec.rank, "tid": _TID_MPI,
+                 "ts": _us(rec.post_time),
+                 "dur": _us(rec.complete_time - rec.post_time),
+                 "name": rec.kind, "cat": "mpi", "args": args}
+            )
+    for rank in sorted(mpi_ranks):
+        events.append(
+            {"ph": "M", "pid": rank, "tid": _TID_MPI, "name": "thread_name",
+             "args": {"name": "mpi"}}
+        )
+
+    # -- flow events along TDG edges ------------------------------------
+    if edges is not None:
+        iterations = sorted(set(recorder.span_iteration))
+        flow_id = 0
+        for pred, succ in edges:
+            for it in iterations:
+                i = span_index.get((edge_rank, pred, it))
+                j = span_index.get((edge_rank, succ, it))
+                if i is None or j is None:
+                    continue
+                flow_id += 1
+                wi = recorder.span_worker[i]
+                wj = recorder.span_worker[j]
+                events.append(
+                    {"ph": "s", "id": flow_id, "pid": edge_rank,
+                     "tid": _TID_DEVICE if wi < 0 else wi,
+                     "ts": _us(recorder.span_end[i]),
+                     "name": "dep", "cat": "tdg"}
+                )
+                events.append(
+                    {"ph": "f", "bp": "e", "id": flow_id, "pid": edge_rank,
+                     "tid": _TID_DEVICE if wj < 0 else wj,
+                     "ts": _us(recorder.span_start[j]),
+                     "name": "dep", "cat": "tdg"}
+                )
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": "repro.obs.trace",
+            "version": TRACE_SCHEMA_VERSION,
+        },
+    }
+
+
+def validate_perfetto(doc: dict) -> dict:
+    """Check a Perfetto document's structure; raises ``ValueError``.
+
+    Validates the schema stamp, the per-event required fields by phase,
+    and — via a strict serialization pass — that no NaN/Infinity can
+    reach the JSON file.  Returns ``doc`` so calls compose.
+    """
+    other = doc.get("otherData", {})
+    if other.get("schema") != "repro.obs.trace":
+        raise ValueError(f"not a repro trace: schema={other.get('schema')!r}")
+    if other.get("version") != TRACE_SCHEMA_VERSION:
+        raise ValueError(
+            f"trace schema version {other.get('version')!r} unsupported "
+            f"(expected {TRACE_SCHEMA_VERSION})"
+        )
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    required = {
+        "M": ("pid", "name", "args"),
+        "X": ("pid", "tid", "ts", "dur", "name"),
+        "i": ("pid", "tid", "ts", "name"),
+        "s": ("pid", "tid", "ts", "id"),
+        "f": ("pid", "tid", "ts", "id", "bp"),
+    }
+    for k, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph not in required:
+            raise ValueError(f"event {k}: unknown phase {ph!r}")
+        for field in required[ph]:
+            if field not in ev:
+                raise ValueError(f"event {k} (ph={ph}): missing {field!r}")
+        for field in ("ts", "dur"):
+            v = ev.get(field)
+            if v is not None and (not isinstance(v, (int, float)) or v != v):
+                raise ValueError(f"event {k}: non-finite {field}={v!r}")
+    try:
+        json.dumps(doc, allow_nan=False)
+    except ValueError as exc:
+        raise ValueError(f"trace is not strict JSON: {exc}") from exc
+    return doc
+
+
+def write_perfetto(path: Union[str, Path], doc: dict) -> Path:
+    """Validate and write a Perfetto document (open in ui.perfetto.dev)."""
+    validate_perfetto(doc)
+    path = Path(path)
+    path.write_text(json.dumps(doc, allow_nan=False, sort_keys=True) + "\n")
+    return path
+
+
+# ======================================================================
+# NDJSON
+# ======================================================================
+def iter_ndjson(recorder: TraceRecorder) -> Iterator[str]:
+    """Yield the NDJSON event log, one strict-JSON line per event.
+
+    Line 1 is the header (schema + version + name table); then task
+    spans, barriers and MPI records in recording order.  In-flight
+    requests serialize with ``"complete": null``.
+    """
+    dump = lambda obj: json.dumps(obj, allow_nan=False, sort_keys=True)
+    yield dump(
+        {
+            "ev": "header",
+            "schema": "repro.obs.trace",
+            "version": TRACE_SCHEMA_VERSION,
+            "names": recorder.name_table(),
+        }
+    )
+    for i in range(recorder.n_spans):
+        yield dump(
+            {
+                "ev": "task",
+                "task": recorder.span_tid[i],
+                "name": recorder.span_name[i],
+                "loop": recorder.span_loop[i],
+                "iteration": recorder.span_iteration[i],
+                "rank": recorder.span_rank[i],
+                "worker": recorder.span_worker[i],
+                "start": recorder.span_start[i],
+                "end": recorder.span_end[i],
+            }
+        )
+    for kind, t in zip(recorder.barrier_kind, recorder.barrier_time):
+        yield dump({"ev": "barrier", "kind": kind, "time": t})
+    for rec in recorder.comm_records:
+        complete = None if np.isnan(rec.complete_time) else rec.complete_time
+        yield dump(
+            {
+                "ev": "comm",
+                "kind": rec.kind,
+                "rank": rec.rank,
+                "peer": rec.peer,
+                "nbytes": rec.nbytes,
+                "post": rec.post_time,
+                "complete": complete,
+                "iteration": rec.iteration,
+            }
+        )
+
+
+def write_ndjson(path: Union[str, Path], recorder: TraceRecorder) -> Path:
+    path = Path(path)
+    with path.open("w") as fh:
+        for line in iter_ndjson(recorder):
+            fh.write(line)
+            fh.write("\n")
+    return path

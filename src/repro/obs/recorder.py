@@ -1,0 +1,152 @@
+"""The structured trace recorder: one subscriber, every event stream.
+
+:class:`TraceRecorder` attaches to an
+:class:`~repro.sim.InstrumentationBus` and records
+
+- **task spans** (one per executed task body) in a struct-of-arrays
+  column layout — parallel lists for tid, interned name id, loop id,
+  iteration, rank, worker and start/end times, matching the
+  :class:`~repro.sim.table.TaskTable` idiom so a million-span trace is a
+  handful of lists, not a million objects;
+- **barrier events** (taskwait / persistent-iteration / loop);
+- **MPI request records** (the shared :class:`~repro.profiler.trace.CommRecord`
+  objects — in-flight requests keep a NaN completion time until the
+  matching ``msg_complete`` fires);
+- **discovery counters** (an embedded
+  :class:`~repro.obs.counters.DiscoveryCounters`).
+
+Exporters (:mod:`repro.obs.export`) and the measured critical-path
+analysis (:mod:`repro.obs.critical_path`) read these columns; the
+recorder itself never touches the simulation (observer neutrality).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.counters import DiscoveryCounters
+from repro.profiler.trace import CommRecord
+from repro.util.interner import Interner
+
+
+class TraceRecorder:
+    """Record spans, barriers, comm records and counters from one bus.
+
+    Attach before constructing the runtime(s)::
+
+        bus = InstrumentationBus()
+        rec = bus.attach(TraceRecorder())
+        result = run_experiment(spec, bus=bus)
+
+    On a shared multi-rank bus, ``register`` events map each runtime's
+    task table to its rank; events from tables never registered are
+    attributed to rank 0.
+    """
+
+    __slots__ = (
+        "names",
+        "span_tid",
+        "span_name",
+        "span_loop",
+        "span_iteration",
+        "span_rank",
+        "span_worker",
+        "span_start",
+        "span_end",
+        "barrier_kind",
+        "barrier_time",
+        "comm_records",
+        "counters",
+        "_rank_of",
+        "ranks",
+    )
+
+    def __init__(self) -> None:
+        #: Interned task-name table (``names.keys[i]`` is name id ``i``).
+        self.names = Interner()
+        # -- task spans (parallel columns) ------------------------------
+        self.span_tid: list[int] = []
+        self.span_name: list[int] = []
+        self.span_loop: list[int] = []
+        self.span_iteration: list[int] = []
+        self.span_rank: list[int] = []
+        self.span_worker: list[int] = []
+        self.span_start: list[float] = []
+        self.span_end: list[float] = []
+        # -- barriers ---------------------------------------------------
+        self.barrier_kind: list[str] = []
+        self.barrier_time: list[float] = []
+        # -- MPI --------------------------------------------------------
+        self.comm_records: list[CommRecord] = []
+        # -- discovery counters ----------------------------------------
+        self.counters = DiscoveryCounters()
+        self._rank_of: dict[int, int] = {}
+        #: Registered ranks in registration order.
+        self.ranks: list[int] = []
+
+    # -- hooks ---------------------------------------------------------
+    def on_register(self, table, rank) -> None:
+        if rank not in self.ranks:
+            self.ranks.append(rank)
+        if table is not None:
+            self._rank_of[id(table)] = rank
+        self.counters.on_register(table, rank)
+
+    def on_task_end(self, table, tid, worker, t_start, t_end) -> None:
+        self.span_tid.append(tid)
+        self.span_name.append(self.names(table.name[tid]))
+        self.span_loop.append(int(table.loop_id[tid]))
+        self.span_iteration.append(int(table.iteration[tid]))
+        self.span_rank.append(self._rank_of.get(id(table), 0))
+        self.span_worker.append(worker)
+        self.span_start.append(t_start)
+        self.span_end.append(t_end)
+
+    def on_task_create(self, table, tid, res, cost, time) -> None:
+        self.counters.on_task_create(table, tid, res, cost, time)
+
+    def on_task_replay(self, table, tid, iteration, cost, time) -> None:
+        self.counters.on_task_replay(table, tid, iteration, cost, time)
+
+    def on_msg_post(self, record: CommRecord) -> None:
+        self.comm_records.append(record)
+
+    def on_barrier(self, kind, time) -> None:
+        self.barrier_kind.append(kind)
+        self.barrier_time.append(time)
+
+    # -- accessors -----------------------------------------------------
+    @property
+    def n_spans(self) -> int:
+        return len(self.span_tid)
+
+    def name_of(self, name_id: int) -> str:
+        return self.name_table()[name_id]
+
+    def name_table(self) -> list[str]:
+        """Interned names by id (first-seen order)."""
+        return self.names.keys()
+
+    def durations(
+        self, *, rank: Optional[int] = None
+    ) -> dict[tuple[int, int], float]:
+        """Measured span durations keyed by ``(tid, iteration)``.
+
+        Persistent replay executes the same tid once per iteration; the
+        key keeps those spans distinct.  ``rank`` filters a multi-rank
+        recording down to one runtime's tid space (tids collide across
+        ranks).  When a (tid, iteration) somehow has several spans the
+        last one wins — matching the table's own completion stamps.
+        """
+        out: dict[tuple[int, int], float] = {}
+        tids, iters = self.span_tid, self.span_iteration
+        starts, ends, ranks = self.span_start, self.span_end, self.span_rank
+        for i in range(len(tids)):
+            if rank is not None and ranks[i] != rank:
+                continue
+            out[tids[i], iters[i]] = ends[i] - starts[i]
+        return out
+
+    def span_seconds(self) -> float:
+        """Total recorded task-body seconds (all ranks)."""
+        return sum(e - s for s, e in zip(self.span_start, self.span_end))

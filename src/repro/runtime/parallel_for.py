@@ -139,6 +139,10 @@ class ParallelForRuntime:
         self.bus = bus if bus is not None else InstrumentationBus()
         self.comm = comm
         self.rank = rank
+        cbs = self.bus.register
+        if cbs:
+            for cb in cbs:
+                cb(None, rank)
         self.n_threads = config.threads
         self.memory = MemoryHierarchy(config.machine)
         self.work = np.zeros(self.n_threads)

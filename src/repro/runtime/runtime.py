@@ -240,6 +240,10 @@ class TaskRuntime:
             # Filter on our table: on a shared (cluster-wide) bus the
             # per-rank trace must not absorb other ranks' task events.
             self.bus.attach(TraceSubscriber(self.trace, table=self.table))
+        cbs = self.bus.register
+        if cbs:
+            for cb in cbs:
+                cb(self.table, rank)
         self._region: Optional[PersistentRegion] = None
         #: Template-iteration tids, 1:1 with its specs (persistent mode).
         self._template_tids: list[int] = []
@@ -513,6 +517,10 @@ class TaskRuntime:
             tid = self._template_tids[self._region_cursor]
             self._region_cursor += 1
             cost = self._replay_cost(spec)
+            cbs = self.bus.task_replay
+            if cbs:
+                for cb in cbs:
+                    cb(self.table, tid, iteration.index, cost, now)
         else:
             tb = self.table
             prep = self._spec_prep.get(id(spec))
@@ -533,6 +541,10 @@ class TaskRuntime:
             if self._persistent_mode:
                 self._template_tids.append(tid)
             cost = self._creation_cost(spec, res)
+            cbs = self.bus.task_create
+            if cbs:
+                for cb in cbs:
+                    cb(tb, tid, res, cost, now)
 
         self.discovery_busy += cost
         if self._disc_first != self._disc_first:  # NaN: first creation
@@ -615,6 +627,7 @@ class TaskRuntime:
         arm_time = self._arm_time
         it = self._replay_iter_index
         root_ready = self._root_ready
+        replay_cbs = self.bus.task_replay
         batch: list = []
         db = self.discovery_busy
         end = len(plan_tids)
@@ -632,6 +645,9 @@ class TaskRuntime:
             bodies[tid] = plan_bodies[k]
             armed[tid] = True
             arm_time[tid] = t
+            if replay_cbs:
+                for cb in replay_cbs:
+                    cb(tb, tid, it, cost, t)
             if npred[tid] == 0:
                 batch.append((t, root_ready, (tid,)))
             k += 1

@@ -9,11 +9,13 @@ All three execution engines (:class:`~repro.runtime.runtime.TaskRuntime`,
 - :class:`SimContext` — one simulation timeline: event queue + clock +
   seeded RNG, shared by every rank of a coupled run;
 - :class:`InstrumentationBus` — typed hook points (``task_ready``,
-  ``task_start``, ``task_end``, ``msg_post``, ``msg_complete``,
-  ``barrier``).  Profiling, communication metrics, Gantt recording and
-  memory-counter sampling subscribe to the bus instead of being calls
-  interleaved into runtime logic; an empty hook costs one attribute load
-  and a falsy check on the hot path;
+  ``task_start``, ``task_end``, ``task_create``, ``task_replay``,
+  ``msg_post``, ``msg_complete``, ``barrier``, ``register`` — see
+  ``HOOK_DOCS`` for the catalogue).  Profiling, communication metrics,
+  Gantt recording, discovery counters and memory-counter sampling
+  subscribe to the bus instead of being calls interleaved into runtime
+  logic; an empty hook costs one attribute load and a falsy check on the
+  hot path;
 - :class:`TaskTable` — struct-of-arrays storage for the TDG hot path
   (parallel columns for state, predecessor counts, cost fields; successor
   lists flattenable to a CSR layout).  :class:`~repro.core.task.Task`
@@ -21,7 +23,7 @@ All three execution engines (:class:`~repro.runtime.runtime.TaskRuntime`,
   :mod:`repro.verify`.
 """
 
-from repro.sim.bus import HookBus, InstrumentationBus
+from repro.sim.bus import HOOK_DOCS, HookBus, InstrumentationBus
 from repro.sim.context import SimContext
 from repro.sim.events import EventQueue
 from repro.sim.subscribers import (
@@ -34,6 +36,7 @@ from repro.sim.table import TaskTable
 
 __all__ = [
     "CommRecorder",
+    "HOOK_DOCS",
     "HookBus",
     "EventCounter",
     "EventQueue",

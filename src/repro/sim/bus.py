@@ -18,17 +18,28 @@ queue is not exposed to them, which is what makes the bus behavior-neutral
 Hook signatures (``table`` is the emitting runtime's
 :class:`~repro.sim.table.TaskTable`, times are simulated seconds):
 
-===============  ======================================================
-``task_ready``   ``(table, tid, time)`` — predecessors satisfied
-``task_start``   ``(table, tid, worker, time)`` — body begins
-``task_end``     ``(table, tid, worker, t_start, t_end)`` — body done
-``msg_post``     ``(record)`` — an MPI request was posted
-                 (:class:`~repro.profiler.trace.CommRecord`, completion
-                 time still NaN)
-``msg_complete`` ``(record)`` — the same record, completion time filled
-``barrier``      ``(kind, time)`` — ``"taskwait"``, ``"iteration"`` or
-                 ``"loop"`` synchronization point reached
-===============  ======================================================
+================  ======================================================
+``task_create``   ``(table, tid, res, cost, time)`` — discovery resolved
+                  one task's ``depend`` clauses; ``res`` is the
+                  :class:`~repro.core.dependences.ResolutionResult`
+                  (addresses, edges, dedup/prune/redirect counts) and
+                  ``cost`` the producer seconds charged for the creation
+``task_replay``   ``(table, tid, iteration, cost, time)`` — persistent
+                  replay (opt p) re-stamped one template task;  ``cost``
+                  covers the re-arm plus the firstprivate copy
+``task_ready``    ``(table, tid, time)`` — predecessors satisfied
+``task_start``    ``(table, tid, worker, time)`` — body begins
+``task_end``      ``(table, tid, worker, t_start, t_end)`` — body done
+``msg_post``      ``(record)`` — an MPI request was posted
+                  (:class:`~repro.profiler.trace.CommRecord`, completion
+                  time still NaN)
+``msg_complete``  ``(record)`` — the same record, completion time filled
+``barrier``       ``(kind, time)`` — ``"taskwait"``, ``"iteration"`` or
+                  ``"loop"`` synchronization point reached
+``register``      ``(table, rank)`` — a runtime bound itself to this bus
+                  (``table`` is None for non-task engines); lets a shared
+                  multi-rank observer attribute later events to ranks
+================  ======================================================
 """
 
 from __future__ import annotations
@@ -40,10 +51,34 @@ HOOKS = (
     "task_ready",
     "task_start",
     "task_end",
+    "task_create",
+    "task_replay",
     "msg_post",
     "msg_complete",
     "barrier",
+    "register",
 )
+
+#: One-line catalogue of every hook: ``name -> (signature, description)``.
+#: ``repro info`` renders this so the subscriber surface is discoverable
+#: without reading the module docstring.
+HOOK_DOCS: dict[str, tuple[str, str]] = {
+    "task_ready": ("(table, tid, time)", "task's predecessors all satisfied"),
+    "task_start": ("(table, tid, worker, time)", "task body begins on a worker"),
+    "task_end": ("(table, tid, worker, t_start, t_end)", "task body finished"),
+    "task_create": (
+        "(table, tid, res, cost, time)",
+        "discovery resolved one task's depends (counters in res)",
+    ),
+    "task_replay": (
+        "(table, tid, iteration, cost, time)",
+        "persistent replay re-stamped one template task (opt p)",
+    ),
+    "msg_post": ("(record)", "MPI request posted (CommRecord, completion NaN)"),
+    "msg_complete": ("(record)", "same CommRecord, completion time filled"),
+    "barrier": ("(kind, time)", "taskwait/iteration/loop synchronization point"),
+    "register": ("(table, rank)", "a runtime bound its task table to this bus"),
+}
 
 
 class HookBus:
@@ -92,9 +127,8 @@ class HookBus:
         """Subscribe every ``on_<hook>`` method ``subscriber`` defines.
 
         The conventional way to write an observer: a class with any subset
-        of ``on_task_ready`` / ``on_task_start`` / ``on_task_end`` /
-        ``on_msg_post`` / ``on_msg_complete`` / ``on_barrier`` methods.
-        Returns the subscriber, so ``bus.attach(Recorder())`` reads well.
+        of ``on_<hook>`` methods for the hooks in ``HOOKS``.  Returns the
+        subscriber, so ``bus.attach(Recorder())`` reads well.
         """
         hooks = type(self).HOOKS
         found = False

@@ -76,14 +76,9 @@ class EventCounter:
     __slots__ = ("counts",)
 
     def __init__(self):
-        self.counts = {
-            "task_ready": 0,
-            "task_start": 0,
-            "task_end": 0,
-            "msg_post": 0,
-            "msg_complete": 0,
-            "barrier": 0,
-        }
+        from repro.sim.bus import HOOKS
+
+        self.counts = {name: 0 for name in HOOKS}
 
     def on_task_ready(self, table, tid, time) -> None:
         self.counts["task_ready"] += 1
@@ -94,6 +89,12 @@ class EventCounter:
     def on_task_end(self, table, tid, worker, t_start, t_end) -> None:
         self.counts["task_end"] += 1
 
+    def on_task_create(self, table, tid, res, cost, time) -> None:
+        self.counts["task_create"] += 1
+
+    def on_task_replay(self, table, tid, iteration, cost, time) -> None:
+        self.counts["task_replay"] += 1
+
     def on_msg_post(self, record) -> None:
         self.counts["msg_post"] += 1
 
@@ -102,6 +103,9 @@ class EventCounter:
 
     def on_barrier(self, kind, time) -> None:
         self.counts["barrier"] += 1
+
+    def on_register(self, table, rank) -> None:
+        self.counts["register"] += 1
 
     @property
     def total(self) -> int:

@@ -36,3 +36,7 @@ class Interner:
 
     def __contains__(self, key: object) -> bool:
         return key in self._table
+
+    def keys(self) -> list:
+        """Interned keys ordered by id (id ``i`` is ``keys()[i]``)."""
+        return list(self._table)

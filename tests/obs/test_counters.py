@@ -1,0 +1,173 @@
+"""Unit tests for the discovery-phase counters (repro.obs.counters)."""
+
+import pytest
+
+from repro.core import ProgramBuilder
+from repro.core.optimizations import OptimizationSet
+from repro.memory import tiny_test_machine
+from repro.obs import (
+    COUNTERS_SCHEMA_VERSION,
+    DiscoveryCounters,
+    check_counters_doc,
+    diff_counters,
+)
+from repro.runtime import RuntimeConfig, TaskRuntime
+from repro.sim import InstrumentationBus
+
+
+def cfg(**kw):
+    kw.setdefault("machine", tiny_test_machine(4))
+    kw.setdefault("seed", 3)
+    return RuntimeConfig(**kw)
+
+
+def dup_heavy_program(iterations=2):
+    """Every reader pulls two addresses off the same writer: the second
+    resolved address is always a duplicate edge (opt b's target)."""
+    b = ProgramBuilder("dups")
+    for _ in range(iterations):
+        with b.iteration():
+            b.task("w", out=["x", "y"], flops=100.0)
+            for i in range(4):
+                b.task(f"r{i}", inp=["x", "y"], flops=50.0)
+            b.taskwait()
+    return b.build()
+
+
+def redirect_program():
+    """An inoutset group closed by a writer: opt (c) inserts a redirect
+    stub between the m group members and whatever follows (Fig. 4)."""
+    b = ProgramBuilder("redirect")
+    with b.iteration():
+        b.task("w0", out=["x"], flops=100.0)
+        for i in range(6):
+            b.task(f"g{i}", inoutset=["x"], flops=50.0)
+        b.task("w1", inout=["x"], flops=100.0)
+        b.task("r", inp=["x"], flops=50.0)
+        b.taskwait()
+    return b.build()
+
+
+def persistent_program(iterations=3):
+    b = ProgramBuilder("persist", persistent_candidate=True)
+    for _ in range(iterations):
+        with b.iteration():
+            b.task("a", out=["x"], flops=100.0, fp_bytes=128)
+            b.task("b", inp=["x"], flops=100.0, fp_bytes=128)
+            b.taskwait()
+    return b.build()
+
+
+def run_counted(prog, opts):
+    bus = InstrumentationBus()
+    counters = bus.attach(DiscoveryCounters())
+    TaskRuntime(prog, cfg(opts=opts), bus=bus).run()
+    return counters
+
+
+class TestDuplicateEdgeCounters:
+    def test_opt_b_on_skips_duplicates(self):
+        tot = run_counted(dup_heavy_program(), OptimizationSet.parse("b")).totals()
+        assert tot.dup_edges_skipped > 0
+        assert tot.dup_edges_created == 0
+
+    def test_opt_b_off_materializes_duplicates(self):
+        tot = run_counted(dup_heavy_program(), OptimizationSet.none()).totals()
+        assert tot.dup_edges_skipped == 0
+        assert tot.dup_edges_created > 0
+
+    def test_on_off_counts_mirror(self):
+        """The same accesses either dedup or materialize — the counts match."""
+        on = run_counted(dup_heavy_program(), OptimizationSet.parse("b")).totals()
+        off = run_counted(dup_heavy_program(), OptimizationSet.none()).totals()
+        assert on.dup_edges_skipped == off.dup_edges_created
+        assert on.tasks_created == off.tasks_created
+        assert on.addrs_resolved == off.addrs_resolved
+
+
+class TestRedirectCounters:
+    def test_opt_c_inserts_stubs(self):
+        counters = run_counted(redirect_program(), OptimizationSet.parse("c"))
+        assert counters.totals().redirect_nodes >= 1
+        assert counters.redirect_edges_saved() >= 0
+
+    def test_opt_c_off_no_stubs(self):
+        counters = run_counted(redirect_program(), OptimizationSet.none())
+        assert counters.totals().redirect_nodes == 0
+        assert counters.redirect_edges_saved() == 0
+
+
+class TestReplayCounters:
+    def test_persistent_replay_stamps_and_fp_bytes(self):
+        counters = run_counted(persistent_program(3), OptimizationSet.parse("p"))
+        tot = counters.totals()
+        # Iterations 1.. replay the 2-task template instead of resolving.
+        assert tot.replay_stamps == 2 * 2
+        assert tot.fp_copy_bytes == tot.replay_stamps * 128
+        assert tot.tasks_created == 2  # only the template is resolved
+
+    def test_non_persistent_has_no_stamps(self):
+        tot = run_counted(persistent_program(3), OptimizationSet.none()).totals()
+        assert tot.replay_stamps == 0
+        assert tot.fp_copy_bytes == 0
+        assert tot.tasks_created == 2 * 3
+
+
+class TestSnapshotDocument:
+    def snapshot(self):
+        return run_counted(dup_heavy_program(), OptimizationSet.parse("b")).to_dict()
+
+    def test_schema_stamp(self):
+        doc = self.snapshot()
+        assert doc["schema"] == "repro.obs.counters"
+        assert doc["version"] == COUNTERS_SCHEMA_VERSION
+        assert check_counters_doc(doc) is doc
+
+    def test_totals_equal_row_sums(self):
+        doc = self.snapshot()
+        for key, total in doc["totals"].items():
+            if key == "redirect_edges_saved":
+                continue
+            assert total == pytest.approx(
+                sum(row[key] for row in doc["per_iteration"])
+            )
+
+    def test_per_iteration_rows_keyed(self):
+        doc = self.snapshot()
+        assert [(r["rank"], r["iteration"]) for r in doc["per_iteration"]] == [
+            (0, 0), (0, 1)
+        ]
+
+    def test_rejects_wrong_schema(self):
+        with pytest.raises(ValueError, match="not a counters document"):
+            check_counters_doc({"schema": "bogus"})
+
+    def test_rejects_wrong_version(self):
+        doc = self.snapshot()
+        doc["version"] = COUNTERS_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="version"):
+            check_counters_doc(doc)
+
+    def test_rejects_missing_totals(self):
+        with pytest.raises(ValueError, match="totals"):
+            check_counters_doc(
+                {"schema": "repro.obs.counters",
+                 "version": COUNTERS_SCHEMA_VERSION,
+                 "per_iteration": []}
+            )
+
+
+class TestDiff:
+    def test_identical_snapshots_empty_diff(self):
+        a = run_counted(dup_heavy_program(), OptimizationSet.parse("b")).to_dict()
+        b = run_counted(dup_heavy_program(), OptimizationSet.parse("b")).to_dict()
+        assert diff_counters(a, b) == {}
+
+    def test_differing_opts_reported(self):
+        a = run_counted(dup_heavy_program(), OptimizationSet.parse("b")).to_dict()
+        b = run_counted(dup_heavy_program(), OptimizationSet.none()).to_dict()
+        delta = diff_counters(a, b)
+        assert "dup_edges_skipped" in delta
+        d = delta["dup_edges_skipped"]
+        assert d["b"] - d["a"] == d["delta"]
+        assert d["a"] > 0 and d["b"] == 0

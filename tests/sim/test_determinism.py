@@ -143,3 +143,37 @@ class TestObserverNeutrality:
         assert bus.quiet
         run_task(bus=bus)
         assert all(v == 0 for v in counter.counts.values())
+
+
+class TestRecorderNeutrality:
+    """The full observability recorder is as neutral as any subscriber:
+    attaching a :class:`repro.obs.TraceRecorder` leaves the DES trace
+    byte-identical on every engine."""
+
+    def test_task_runtime_recorder_neutral(self):
+        from repro.obs import TraceRecorder
+
+        bus = InstrumentationBus()
+        recorder = bus.attach(TraceRecorder())
+        assert run_task(bus=bus) == run_task()
+        assert recorder.n_spans > 0
+        assert recorder.counters.totals().tasks_created > 0
+
+    def test_parallel_for_recorder_neutral(self):
+        from repro.obs import TraceRecorder
+
+        bus = InstrumentationBus()
+        recorder = bus.attach(TraceRecorder())
+        assert run_for(bus=bus) == run_for()
+        assert recorder.barrier_kind  # fork-join barriers observed
+
+    def test_cluster_recorder_neutral(self):
+        from repro.obs import TraceRecorder
+
+        bus = InstrumentationBus()
+        recorder = bus.attach(TraceRecorder())
+        assert run_cluster(bus=bus) == run_cluster()
+        assert sorted(recorder.ranks) == [0, 1]
+        assert recorder.comm_records  # MPI requests observed
+        # Spans from both ranks, attributed via register events.
+        assert {0, 1} <= set(recorder.span_rank)
