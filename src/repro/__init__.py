@@ -79,7 +79,7 @@ from repro.campaign import (
     run_experiment,
 )
 from repro.profiler import breakdown_of, comm_metrics, gantt_of
-from repro.verify import verify_program
+from repro.verify import verify_cluster, verify_program
 
 __all__ = [
     "__version__",
@@ -123,5 +123,6 @@ __all__ = [
     "breakdown_of",
     "comm_metrics",
     "gantt_of",
+    "verify_cluster",
     "verify_program",
 ]

@@ -176,6 +176,7 @@ class _RankBuilder:
                     peer=dst,
                     tag=self._tag(ij, phase, dst),
                 ),
+                footprint=(self._tile_chunk(ij),),
                 fp_bytes=64,
                 loop_id=1,
             )
@@ -194,6 +195,13 @@ class _RankBuilder:
                     self.cfg.tile_bytes,
                     peer=src,
                     tag=self._tag(ij, phase, self.rank),
+                ),
+                footprint=(
+                    (
+                        self.chunk(("rtile", key)),
+                        self.cfg.tile_bytes,
+                        AccessMode.WRITE,
+                    ),
                 ),
                 fp_bytes=64,
                 loop_id=1,

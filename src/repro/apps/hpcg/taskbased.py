@@ -66,6 +66,7 @@ def build_task_program(
                 name=f"MPI_Irecv[{nb.rank}]",
                 depends=((rbuf, DepMode.OUT),),
                 comm=CommSpec(CommKind.IRECV, nbytes, peer=nb.rank, tag=1),
+                footprint=((chunk(("rbuf", nb.rank)), nbytes, AccessMode.WRITE),),
                 fp_bytes=32,
                 loop_id=0,
             )
@@ -75,7 +76,10 @@ def build_task_program(
                 name=f"PackP[{nb.rank}]",
                 depends=((vec("p", boundary), DepMode.IN), (sbuf, DepMode.OUT)),
                 flops=nbytes / 8.0,
-                footprint=(vchunk("p", boundary),),
+                footprint=(
+                    vchunk("p", boundary),
+                    (chunk(("sbuf", nb.rank)), nbytes, AccessMode.WRITE),
+                ),
                 fp_bytes=32,
                 loop_id=0,
             )
@@ -85,6 +89,7 @@ def build_task_program(
                 name=f"MPI_Isend[{nb.rank}]",
                 depends=((sbuf, DepMode.IN),),
                 comm=CommSpec(CommKind.ISEND, nbytes, peer=nb.rank, tag=1),
+                footprint=((chunk(("sbuf", nb.rank)), nbytes, AccessMode.READ),),
                 fp_bytes=32,
                 loop_id=0,
             )
@@ -94,6 +99,10 @@ def build_task_program(
                 name=f"UnpackP[{nb.rank}]",
                 depends=((rbuf, DepMode.IN), (addr(("phalo", nb.rank)), DepMode.OUT)),
                 flops=nbytes / 8.0,
+                footprint=(
+                    (chunk(("rbuf", nb.rank)), nbytes, AccessMode.READ),
+                    (chunk(("phalo", nb.rank)), nbytes, AccessMode.WRITE),
+                ),
                 fp_bytes=32,
                 loop_id=0,
             )
@@ -151,6 +160,7 @@ def build_task_program(
             depends=tuple([(addr(("pap", i)), DepMode.IN) for i in range(tpl)])
             + ((alpha, DepMode.OUT),),
             flops=float(tpl),
+            footprint=((chunk("alpha"), 8, AccessMode.READWRITE),),
             fp_bytes=16,
             comm=CommSpec(CommKind.IALLREDUCE, nbytes=8),
             loop_id=2,
@@ -207,6 +217,7 @@ def build_task_program(
             depends=tuple([(addr(("rr", i)), DepMode.IN) for i in range(tpl)])
             + ((beta, DepMode.OUT),),
             flops=float(tpl),
+            footprint=((chunk("beta"), 8, AccessMode.READWRITE),),
             fp_bytes=16,
             comm=CommSpec(CommKind.IALLREDUCE, nbytes=8),
             loop_id=5,

@@ -161,6 +161,7 @@ def build_task_program(
                 name="CalcTimeConstraints_allreduce",
                 depends=tuple(deps),
                 flops=200.0,
+                footprint=((chunk("dt"), 8, AccessMode.READWRITE),),
                 fp_bytes=16,
                 comm=CommSpec(kind=CommKind.IALLREDUCE, nbytes=8, detached=True),
                 loop_id=-2,
@@ -182,6 +183,9 @@ def build_task_program(
                     name=f"MPI_Irecv[{nb.rank}]",
                     depends=((rbuf, DepMode.OUT),),
                     comm=CommSpec(kind=CommKind.IRECV, nbytes=nbytes, peer=nb.rank, tag=0),
+                    footprint=(
+                        (chunk(("rbuf", nb.rank)), nbytes, AccessMode.WRITE),
+                    ),
                     fp_bytes=32,
                     loop_id=-3,
                     priority=True,
@@ -196,6 +200,7 @@ def build_task_program(
                     flops=nbytes / 8.0,
                     footprint=(
                         block_chunk("nodes", "force", boundary, AccessMode.READ),
+                        (chunk(("sbuf", nb.rank)), nbytes, AccessMode.WRITE),
                     ),
                     fp_bytes=32,
                     loop_id=-3,
@@ -207,6 +212,9 @@ def build_task_program(
                     name=f"MPI_Isend[{nb.rank}]",
                     depends=((sbuf, DepMode.IN),),
                     comm=CommSpec(kind=CommKind.ISEND, nbytes=nbytes, peer=nb.rank, tag=0),
+                    footprint=(
+                        (chunk(("sbuf", nb.rank)), nbytes, AccessMode.READ),
+                    ),
                     fp_bytes=32,
                     loop_id=-3,
                     priority=True,
@@ -223,6 +231,7 @@ def build_task_program(
                         block_chunk(
                             "nodes", "force", boundary, AccessMode.READWRITE
                         ),
+                        (chunk(("rbuf", nb.rank)), nbytes, AccessMode.READ),
                     ),
                     fp_bytes=32,
                     loop_id=-3,

@@ -31,7 +31,11 @@ import numpy as np
 from repro.analysis.calibration import scale_costs, scaled_epyc, scaled_skylake
 from repro.analysis.sweep import geometric_tpls, run_spec_sweep
 from repro.analysis.tables import render_series, render_table
-from repro.campaign.runner import run_experiment, run_experiment_cluster
+from repro.campaign.runner import (
+    build_programs,
+    run_experiment,
+    run_experiment_cluster,
+)
 from repro.campaign.spec import ExperimentSpec
 from repro.core.optimizations import OptimizationSet
 from repro.profiler.breakdown import breakdown_of
@@ -293,41 +297,80 @@ def cmd_validate(args) -> int:
     return 1 if failures else 0
 
 
-def _lint_program(args):
-    """Build the (small, by default) program the lint subcommand analyses."""
-    opts = OptimizationSet.parse(args.opts)
+def _lint_programs(args, config) -> list:
+    """Build the (small, by default) programs the lint subcommand analyses
+    — one per rank, with the same cubic neighbor layout cluster runs use."""
     if args.app == "lulesh":
-        from repro.apps.lulesh import LuleshConfig, build_task_program
-
-        return build_task_program(
-            LuleshConfig(s=args.s, iterations=args.i, tpl=args.tpl),
-            opt_a=opts.a,
-        )
-    if args.app == "hpcg":
-        from repro.apps.hpcg import HpcgConfig, build_task_program
-
-        return build_task_program(
-            HpcgConfig(n_rows=args.rows, iterations=args.i, tpl=args.tpl)
-        )
-    from repro.apps.cholesky import CholeskyConfig, build_task_programs
-
-    return build_task_programs(CholeskyConfig(n=args.n, b=args.b))[0]
+        params = {"s": args.s, "iterations": args.i, "tpl": args.tpl}
+    elif args.app == "hpcg":
+        params = {"n_rows": args.rows, "iterations": args.i, "tpl": args.tpl}
+    else:  # cholesky: a 2D rank grid; lint lays --ranks out as ranks x 1
+        params = {"n": args.n, "b": args.b}
+        if args.ranks > 1:
+            params.update(pr=args.ranks, pc=1)
+    spec = ExperimentSpec(
+        app=args.app,
+        config=config,
+        params=params,
+        ranks=args.ranks,
+        seed=config.seed,
+    )
+    return build_programs(spec)
 
 
 def cmd_lint(args) -> int:
-    from repro.verify import Severity, render_json, render_text, verify_program
+    from pathlib import Path
+
+    from repro.verify import (
+        REGISTRY,
+        Baseline,
+        Severity,
+        apply_policy,
+        render_json,
+        render_sarif,
+        render_text,
+        verify_cluster,
+        verify_program,
+    )
+
+    try:
+        threshold = Severity.parse(args.fail_on)
+    except ValueError as err:
+        print(f"error: --fail-on: {err}", file=sys.stderr)
+        return 2
 
     config = _config(args)
-    program = _lint_program(args)
-    report = verify_program(
-        program,
-        config.opts,
-        machine=config.machine,
-        threads=args.threads,
-        costs=config.discovery,
-    )
+    programs = _lint_programs(args, config)
+    if args.ranks > 1:
+        report = verify_cluster(
+            programs,
+            config.opts,
+            machine=config.machine,
+            threads=args.threads,
+            costs=config.discovery,
+        )
+    else:
+        report = verify_program(
+            programs[0],
+            config.opts,
+            machine=config.machine,
+            threads=args.threads,
+            costs=config.discovery,
+        )
+
+    baseline = Baseline.load(args.baseline) if args.baseline else None
+    apply_policy(report, baseline=baseline)
+    if args.write_baseline:
+        Baseline.from_report(report).save(args.write_baseline)
+        print(
+            f"wrote baseline ({len(report.findings) + len(report.suppressed)}"
+            f" fingerprints) to {args.write_baseline}",
+            file=sys.stderr,
+        )
+    if args.sarif:
+        Path(args.sarif).write_text(render_sarif(report, REGISTRY) + "\n")
+
     print(render_json(report) if args.json else render_text(report))
-    threshold = Severity.parse(args.fail_on)
     return 1 if report.at_least(threshold) else 0
 
 
@@ -556,10 +599,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rows", type=int, default=8192, help="HPCG local rows")
     p.add_argument("-n", type=int, default=512, help="Cholesky dimension")
     p.add_argument("-b", type=int, default=128, help="Cholesky tile size")
-    p.add_argument("--fail-on", choices=("info", "warning", "error"),
-                   default="error",
-                   help="exit 1 when a finding at or above this severity "
-                        "exists (default: error)")
+    p.add_argument("--ranks", type=int, default=1,
+                   help="verify a whole cluster of this many ranks: MPI "
+                        "matching/deadlock analysis plus cross-rank races "
+                        "(default: 1, single-program verification)")
+    p.add_argument("--fail-on", default="error", metavar="SEVERITY",
+                   help="exit 1 when a non-baselined finding at or above "
+                        "this severity exists: info, warning or error "
+                        "(default: error); unknown values exit 2")
+    p.add_argument("--baseline", default=None, metavar="FILE",
+                   help="suppress findings whose fingerprints this baseline "
+                        "JSON accepts (they stop affecting --fail-on)")
+    p.add_argument("--write-baseline", default=None, metavar="FILE",
+                   help="accept every current finding: write the baseline "
+                        "JSON and exit per --fail-on as usual")
+    p.add_argument("--sarif", default=None, metavar="FILE",
+                   help="also write the report as SARIF 2.1.0")
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(fn=cmd_lint)
 

@@ -1,6 +1,22 @@
 """Multi-rank coupled simulation (distributed MPI+OpenMP substrate)."""
 
 from repro.cluster.mapping import Neighbor, RankGrid
-from repro.cluster.cluster import Cluster, ClusterResult, run_spmd
+from repro.cluster.cluster import (
+    Cluster,
+    ClusterResult,
+    CommManifest,
+    CommOp,
+    run_spmd,
+    static_comm_manifest,
+)
 
-__all__ = ["Neighbor", "RankGrid", "Cluster", "ClusterResult", "run_spmd"]
+__all__ = [
+    "Neighbor",
+    "RankGrid",
+    "Cluster",
+    "ClusterResult",
+    "CommManifest",
+    "CommOp",
+    "run_spmd",
+    "static_comm_manifest",
+]

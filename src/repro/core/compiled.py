@@ -46,7 +46,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: On-disk format of cached compiled graphs; bump on schema change so
 #: stale entries miss instead of deserializing wrongly.
-COMPILED_FORMAT = 1
+COMPILED_FORMAT = 2
 
 #: Signature schema version (bump when the signature covers new fields —
 #: old cache entries then miss, never alias).
@@ -146,6 +146,25 @@ class CompiledTDG:
     #: without a cost model; advisory — recompute from a
     #: :class:`~repro.runtime.costs.DiscoveryCosts` when costs differ).
     iteration_costs: list[float] = field(default_factory=list)
+    # ---- comm-edge metadata (aligned columns) ------------------------
+    #: :class:`~repro.core.program.CommKind` int per task, -1 when the
+    #: task posts no MPI request.  Together with peer/tag/nbytes this is
+    #: what the cross-rank verifier matches endpoints on — the static
+    #: comm manifest is readable straight off cached artifacts.
+    comm_kind: list[int] = field(default_factory=list)
+    comm_peer: list[int] = field(default_factory=list)
+    comm_tag: list[int] = field(default_factory=list)
+    comm_nbytes: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        # Artifacts built before the comm columns existed (or tests that
+        # construct the dataclass directly) normalize to "no comm".
+        if not self.comm_kind:
+            n = len(self.indegree)
+            self.comm_kind = [-1] * n
+            self.comm_peer = [-1] * n
+            self.comm_tag = [0] * n
+            self.comm_nbytes = [0] * n
 
     # ------------------------------------------------------------------
     @property
@@ -173,6 +192,11 @@ class CompiledTDG:
     def user_tids(self) -> list[int]:
         """Non-stub tids in submission order (the replay template)."""
         return [t for t, s in enumerate(self.is_stub) if not s]
+
+    @property
+    def comm_tids(self) -> list[int]:
+        """Tids that post an MPI request, in submission order."""
+        return [t for t, k in enumerate(self.comm_kind) if k >= 0]
 
     def successors(self, tid: int) -> list[int]:
         return self.succ_targets[self.succ_offsets[tid]:self.succ_offsets[tid + 1]]
@@ -226,6 +250,16 @@ class CompiledTDG:
         offsets, targets = table.build_csr()
         stats = EdgeStats()
         stats.merge(table.stats)
+        comm_kind = [-1] * n
+        comm_peer = [-1] * n
+        comm_tag = [0] * n
+        comm_nbytes = [0] * n
+        for tid, c in enumerate(table.comm):
+            if c is not None:
+                comm_kind[tid] = int(c.kind)
+                comm_peer[tid] = c.peer
+                comm_tag[tid] = c.tag
+                comm_nbytes[tid] = c.nbytes
         return cls(
             key=key,
             persistent=table.persistent,
@@ -243,6 +277,10 @@ class CompiledTDG:
             owner=[owner] * n,
             stats=stats,
             iteration_costs=list(iteration_costs),
+            comm_kind=comm_kind,
+            comm_peer=comm_peer,
+            comm_tag=comm_tag,
+            comm_nbytes=comm_nbytes,
         )
 
     # ------------------------------------------------------------------
@@ -265,6 +303,10 @@ class CompiledTDG:
             "owner": self.owner,
             "stats": self.stats.to_dict(),
             "iteration_costs": self.iteration_costs,
+            "comm_kind": self.comm_kind,
+            "comm_peer": self.comm_peer,
+            "comm_tag": self.comm_tag,
+            "comm_nbytes": self.comm_nbytes,
         }
 
     @classmethod

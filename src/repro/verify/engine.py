@@ -1,0 +1,250 @@
+"""Pluggable rule-engine core: registry, per-rule config, baselines.
+
+Every verification rule — the PR-1 single-rank lints and the cluster
+analyses alike — is declared as a :class:`Rule` in one
+:class:`RuleRegistry`.  The registry is the single source of truth for
+
+- the rule catalogue (``repro info``, SARIF ``tool.driver.rules``),
+- default severities, and
+- which pass (rule family) emits each rule.
+
+:class:`RuleConfig` applies user policy on top: disable rules or override
+their severity per run (``repro lint --disable`` / config dicts).
+
+:class:`Baseline` implements the committed-baseline workflow: a JSON file
+of known finding fingerprints (see :attr:`Finding.fingerprint`) checked
+into the repository.  Applying it to a :class:`Report` moves matched
+findings into :attr:`Report.suppressed`, so ``--fail-on`` only gates on
+*new* findings — the contract the CI lint gate runs on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterable, Mapping, Optional, Union
+
+from repro.verify.findings import Finding, Report, Severity
+
+#: Schema stamp of baseline files (repro.obs schema-version policy).
+BASELINE_SCHEMA = "repro.verify.baseline"
+BASELINE_SCHEMA_VERSION = 1
+
+
+# ======================================================================
+# registry
+# ======================================================================
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """One verification rule: identity, family, default severity."""
+
+    id: str
+    #: The pass (rule family) that emits it — a name from
+    #: :data:`repro.verify.PASSES` / :data:`repro.verify.CLUSTER_PASSES`.
+    family: str
+    severity: Severity
+    #: One-line description for catalogues and SARIF.
+    description: str
+    #: Action-phrased default remediation (SARIF help text).
+    help: str = ""
+
+    @property
+    def catalogue_entry(self) -> str:
+        """The ``repro info`` line: description plus severity badge."""
+        return f"{self.description} [{self.severity.name.lower()}]"
+
+
+class RuleRegistry:
+    """All rules the verifier can emit, keyed by stable rule id."""
+
+    def __init__(self) -> None:
+        self._rules: dict[str, Rule] = {}
+
+    def register(self, rule: Rule) -> Rule:
+        if rule.id in self._rules:
+            raise ValueError(f"rule {rule.id!r} registered twice")
+        self._rules[rule.id] = rule
+        return rule
+
+    def get(self, rule_id: str) -> Rule:
+        return self._rules[rule_id]
+
+    def __contains__(self, rule_id: str) -> bool:
+        return rule_id in self._rules
+
+    def __iter__(self):
+        return iter(self._rules.values())
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def ids(self) -> list[str]:
+        return list(self._rules)
+
+    def by_family(self, family: str) -> list[Rule]:
+        return [r for r in self._rules.values() if r.family == family]
+
+    def catalogue(self) -> dict[str, str]:
+        """``{rule id: one-line description}`` in registration order."""
+        return {r.id: r.catalogue_entry for r in self._rules.values()}
+
+
+# ======================================================================
+# per-run rule configuration
+# ======================================================================
+@dataclass(frozen=True)
+class RuleConfig:
+    """User policy over the registry: disabled rules, severity overrides.
+
+    Built from a plain dict (JSON-friendly)::
+
+        RuleConfig.from_dict({
+            "disable": ["V-PAT-FUNNEL"],
+            "severity": {"V-DISC-BOUND": "error"},
+        })
+    """
+
+    disabled: frozenset[str] = frozenset()
+    severity: Mapping[str, Severity] = field(default_factory=dict)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RuleConfig":
+        return cls(
+            disabled=frozenset(data.get("disable", ())),
+            severity={
+                rid: Severity.parse(s)
+                for rid, s in dict(data.get("severity", {})).items()
+            },
+        )
+
+    def validate(self, registry: RuleRegistry) -> None:
+        unknown = sorted(
+            (set(self.disabled) | set(self.severity)) - set(registry.ids())
+        )
+        if unknown:
+            raise ValueError(
+                f"rule config names unknown rules {unknown}; "
+                f"known rules: {registry.ids()}"
+            )
+
+    def apply(self, findings: Iterable[Finding]) -> list[Finding]:
+        """Filter disabled rules and apply severity overrides."""
+        out: list[Finding] = []
+        for f in findings:
+            if f.rule in self.disabled:
+                continue
+            sev = self.severity.get(f.rule)
+            if sev is not None and sev != f.severity:
+                f = replace(f, severity=sev)
+            out.append(f)
+        return out
+
+
+# ======================================================================
+# baselines
+# ======================================================================
+@dataclass
+class Baseline:
+    """Known-finding fingerprints that suppress repeat reports.
+
+    The file is committed next to the code it describes; regenerating it
+    (``repro lint --write-baseline``) is the explicit act of accepting
+    the current findings as known.
+    """
+
+    program: str = ""
+    #: fingerprint -> short context (rule + first task), for human diffs.
+    entries: dict[str, dict] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.entries
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_report(cls, report: Report) -> "Baseline":
+        """Baseline accepting every finding of ``report`` (incl. already
+        suppressed ones, so re-writing with a stale baseline loses nothing)."""
+        bl = cls(program=report.program)
+        for f in list(report.sorted()) + list(report.sorted_suppressed()):
+            bl.entries[f.fingerprint] = {
+                "rule": f.rule,
+                "rank": f.rank,
+                "tasks": list(f.tasks[:2]),
+                "message": f.message,
+            }
+        return bl
+
+    def apply(self, report: Report) -> int:
+        """Move matched findings into ``report.suppressed``; returns the
+        number suppressed."""
+        keep: list[Finding] = []
+        hit = 0
+        for f in report.findings:
+            if f.fingerprint in self.entries:
+                report.suppressed.append(f)
+                hit += 1
+            else:
+                keep.append(f)
+        report.findings = keep
+        return hit
+
+    def unused(self, report: Report) -> list[str]:
+        """Baseline fingerprints no current finding matched — candidates
+        for removal (the defect was fixed)."""
+        seen = {f.fingerprint for f in report.findings} | {
+            f.fingerprint for f in report.suppressed
+        }
+        return sorted(fp for fp in self.entries if fp not in seen)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "schema": BASELINE_SCHEMA,
+            "version": BASELINE_SCHEMA_VERSION,
+            "program": self.program,
+            "entries": {fp: self.entries[fp] for fp in sorted(self.entries)},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Baseline":
+        if data.get("schema") != BASELINE_SCHEMA:
+            raise ValueError(
+                f"not a verify baseline: schema={data.get('schema')!r}"
+            )
+        if data.get("version") != BASELINE_SCHEMA_VERSION:
+            raise ValueError(
+                f"baseline schema version {data.get('version')!r} unsupported "
+                f"(expected {BASELINE_SCHEMA_VERSION})"
+            )
+        return cls(
+            program=str(data.get("program", "")),
+            entries=dict(data.get("entries", {})),
+        )
+
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        from repro.util.serde import canonical_json
+
+        Path(path).write_text(canonical_json(self.to_dict()) + "\n")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+def apply_policy(
+    report: Report,
+    *,
+    config: Optional[RuleConfig] = None,
+    baseline: Optional[Baseline] = None,
+) -> Report:
+    """Apply rule config then baseline suppression to ``report`` in place."""
+    if config is not None:
+        report.findings = config.apply(report.findings)
+    if baseline is not None:
+        baseline.apply(report)
+    return report

@@ -166,7 +166,9 @@ def estimate_discovery(
             depth=shape.depth,
             avg_parallelism=shape.avg_parallelism,
             exec_estimate=exec_estimate,
-            discovery_bound=total >= exec_estimate,
+            # An empty graph (no tasks, zero cost on both sides) is not
+            # "bound" by anything — the comparison needs work to compare.
+            discovery_bound=tdg.n_user_tasks > 0 and total >= exec_estimate,
         ),
         tdg,
     )

@@ -15,9 +15,17 @@ read-modify-writes commute (Fig. 4's concurrent scatter-accumulators).
 A reported race means a ``depend`` clause is missing or names the wrong
 address — precisely the class of defect the paper's under-declared
 dependences produce, invisible until results corrupt.
+
+The scan is parameterized over the ordering relation and rule
+attribution so the cluster pass (:mod:`repro.verify.mpi`) can rerun it
+per rank with the *cross-rank* happens-before — communication edges
+order tasks that look concurrent locally — and classify races touching
+communication tasks as ``V-RACE-XRANK``.
 """
 
 from __future__ import annotations
+
+from typing import Callable, Optional
 
 from repro.core.task import AccessMode, DepMode
 from repro.verify.findings import Finding, Severity
@@ -35,8 +43,30 @@ def _inoutset_addrs(node: StaticNode) -> frozenset[int]:
     )
 
 
-def find_races(tdg: StaticTDG) -> list[Finding]:
-    """All unordered conflicting footprint access pairs, as findings."""
+def _default_rule(writer: StaticNode, other: StaticNode) -> str:
+    return "V-RACE"
+
+
+def scan_conflicts(
+    tdg: StaticTDG,
+    *,
+    ordered: Optional[Callable[[StaticNode, StaticNode], bool]] = None,
+    rule_for: Optional[Callable[[StaticNode, StaticNode], str]] = None,
+    rank: int = -1,
+    max_findings: int = MAX_RACE_FINDINGS,
+) -> list[Finding]:
+    """The race scan, parameterized for single-program and cluster use.
+
+    ``ordered`` is the happens-before-either-way oracle (defaults to the
+    TDG's own, segment + reachability); the cluster pass passes one that
+    additionally follows communication edges.  ``rule_for(writer, other)``
+    picks the rule id per pair; ``rank`` stamps every finding.
+    """
+    if ordered is None:
+        ordered = tdg.ordered
+    if rule_for is None:
+        rule_for = _default_rule
+
     # chunk id -> list of (node, access mode)
     accesses: dict[int, list[tuple[StaticNode, AccessMode]]] = {}
     for node in tdg.nodes:
@@ -59,7 +89,7 @@ def find_races(tdg: StaticTDG) -> list[Finding]:
                     continue
                 if not (ma.writes or mb.writes):
                     continue
-                if tdg.ordered(a, b):
+                if ordered(a, b):
                     continue
                 if (
                     ma.writes
@@ -68,23 +98,26 @@ def find_races(tdg: StaticTDG) -> list[Finding]:
                 ):
                     # Sanctioned concurrency: same inoutset group.
                     continue
-                if len(findings) >= MAX_RACE_FINDINGS:
+                if len(findings) >= max_findings:
                     truncated = True
                     break
                 writer, other = (a, b) if ma.writes else (b, a)
                 kind = "write/write" if (ma.writes and mb.writes) else "read/write"
+                rule = rule_for(writer, other)
+                where = f" on rank {rank}" if rank >= 0 else ""
                 findings.append(
                     Finding(
-                        rule="V-RACE",
+                        rule=rule,
                         severity=Severity.ERROR,
                         message=(
-                            f"{kind} race on footprint chunk {cid}: "
+                            f"{kind} race on footprint chunk {cid}{where}: "
                             f"{writer.name!r} (iteration {writer.iteration}) and "
                             f"{other.name!r} (iteration {other.iteration}) are "
                             "unordered"
                         ),
                         tasks=(writer.name, other.name),
                         iteration=writer.iteration,
+                        rank=rank,
                         hint=(
                             "declare a depend clause covering the shared "
                             "storage (or an inoutset group if the writes "
@@ -103,10 +136,16 @@ def find_races(tdg: StaticTDG) -> list[Finding]:
                 rule="V-RACE",
                 severity=Severity.ERROR,
                 message=(
-                    f"race reporting truncated after {MAX_RACE_FINDINGS} "
+                    f"race reporting truncated after {max_findings} "
                     "findings — the dependence structure needs a rework, "
                     "not a longer list"
                 ),
+                rank=rank,
             )
         )
     return findings
+
+
+def find_races(tdg: StaticTDG) -> list[Finding]:
+    """All unordered conflicting footprint access pairs, as findings."""
+    return scan_conflicts(tdg)

@@ -1,5 +1,5 @@
 """Render a verification :class:`~repro.verify.findings.Report` for humans
-or machines (``repro lint --json``)."""
+or machines (``repro lint --json`` / ``--sarif``)."""
 
 from __future__ import annotations
 
@@ -15,9 +15,15 @@ _BADGE = {
 
 
 def render_text(report: Report) -> str:
-    """Multi-line human-readable rendering, worst findings first."""
+    """Multi-line human-readable rendering, worst findings first.
+
+    Within a severity, findings keep the report's deterministic
+    (rule, rank, tasks, iteration, message) order.
+    """
     lines: list[str] = []
     lines.append(f"verify: {report.program}")
+    if report.ranks > 1:
+        lines.append(f"ranks:  {report.ranks}")
     if report.passes:
         lines.append(f"passes: {', '.join(report.passes)}")
     s = report.summary
@@ -38,24 +44,30 @@ def render_text(report: Report) -> str:
                 f"@ {s.get('threads', '?')} threads"
             )
     lines.append("")
-    if not report.findings:
+    if not report.findings and not report.suppressed:
         lines.append("no findings.")
         return "\n".join(lines)
-    for f in report.sorted():
-        where = f" [iteration {f.iteration}]" if f.iteration >= 0 else ""
+    for f in sorted(report.sorted(), key=lambda f: -int(f.severity)):
+        where = ""
+        if f.rank >= 0:
+            where += f" [rank {f.rank}]"
+        if f.iteration >= 0:
+            where += f" [iteration {f.iteration}]"
         lines.append(f"{_BADGE[f.severity]}: {f.rule}{where}: {f.message}")
         if f.tasks:
             lines.append(f"    tasks: {', '.join(f.tasks)}")
         if f.hint:
             lines.append(f"    hint: {f.hint}")
+    if not report.findings:
+        lines.append("no findings.")
     lines.append("")
-    lines.append(
-        "summary: "
-        + ", ".join(
-            f"{report.count(sev)} {_BADGE[sev]}{'s' if report.count(sev) != 1 else ''}"
-            for sev in (Severity.ERROR, Severity.WARNING, Severity.INFO)
-        )
+    summary = ", ".join(
+        f"{report.count(sev)} {_BADGE[sev]}{'s' if report.count(sev) != 1 else ''}"
+        for sev in (Severity.ERROR, Severity.WARNING, Severity.INFO)
     )
+    if report.suppressed:
+        summary += f" ({len(report.suppressed)} baselined)"
+    lines.append("summary: " + summary)
     return "\n".join(lines)
 
 

@@ -1,0 +1,91 @@
+"""Static comm manifest: DES-free enumeration of every MPI operation."""
+
+from repro.cluster import CommManifest, static_comm_manifest
+from repro.core.program import CommKind, CommSpec, ProgramBuilder
+from repro.runtime.parallel_for import (
+    BlockingCollectiveSpec,
+    ForIteration,
+    ForProgram,
+    HaloExchangeSpec,
+    P2PSpec,
+)
+
+
+def two_rank_task_programs(iterations=2):
+    progs = []
+    for rank in range(2):
+        peer = 1 - rank
+        b = ProgramBuilder(f"r{rank}")
+        for _ in range(iterations):
+            with b.iteration():
+                b.task("compute", out=["x"], flops=10.0)
+                b.task(
+                    "send",
+                    inp=["x"],
+                    out=["s"],
+                    comm=CommSpec(CommKind.ISEND, 128, peer=peer, tag=rank),
+                )
+                b.task(
+                    "recv",
+                    out=["r"],
+                    comm=CommSpec(CommKind.IRECV, 128, peer=peer, tag=peer),
+                )
+        progs.append(b.build())
+    return progs
+
+
+class TestTaskProgramWalk:
+    def test_submission_order_and_fields(self):
+        manifest = static_comm_manifest(two_rank_task_programs())
+        assert manifest.n_ranks == 2
+        assert len(manifest) == 8  # 2 ranks x 2 iterations x (send+recv)
+        r0 = manifest.by_rank(0)
+        assert [op.op_index for op in r0] == [0, 1, 2, 3]
+        assert [op.kind for op in r0[:2]] == [CommKind.ISEND, CommKind.IRECV]
+        assert r0[0].peer == 1 and r0[0].tag == 0 and r0[0].nbytes == 128
+        assert r0[0].task == "send"
+        assert [op.iteration for op in r0] == [0, 0, 1, 1]
+        # Non-comm tasks contribute nothing.
+        assert all(op.task != "compute" for op in manifest.ops)
+
+    def test_template_only_takes_first_iteration(self):
+        manifest = static_comm_manifest(
+            two_rank_task_programs(iterations=3), template_only=True
+        )
+        assert len(manifest.by_rank(0)) == 2
+        assert all(op.iteration == 0 for op in manifest.ops)
+
+    def test_to_dict_schema(self):
+        d = static_comm_manifest(two_rank_task_programs()).to_dict()
+        assert d["schema"] == "repro.cluster.comm_manifest"
+        assert d["version"] == 1
+        assert d["ops"][0]["kind"] == "ISEND"
+
+
+class TestForProgramWalk:
+    def test_halo_and_collective_phases(self):
+        halo = HaloExchangeSpec(
+            ops=(
+                P2PSpec(CommKind.ISEND, peer=1, tag=5, nbytes=4096),
+                P2PSpec(CommKind.IRECV, peer=1, tag=6, nbytes=4096),
+            )
+        )
+        prog = ForProgram(
+            [ForIteration(phases=[halo, BlockingCollectiveSpec(nbytes=8)])],
+            name="bsp",
+        )
+        manifest = static_comm_manifest([prog])
+        assert isinstance(manifest, CommManifest)
+        kinds = [op.kind for op in manifest.ops]
+        assert kinds == [CommKind.ISEND, CommKind.IRECV, CommKind.IALLREDUCE]
+        assert manifest.ops[0].task == "halo-exchange"
+        assert manifest.ops[2].peer == -1
+
+    def test_mixed_program_kinds(self):
+        task_prog = two_rank_task_programs(iterations=1)[0]
+        bsp = ForProgram(
+            [ForIteration(phases=[BlockingCollectiveSpec(nbytes=8)])]
+        )
+        manifest = static_comm_manifest([task_prog, bsp])
+        assert len(manifest.by_rank(0)) == 2
+        assert [op.kind for op in manifest.by_rank(1)] == [CommKind.IALLREDUCE]

@@ -12,6 +12,7 @@ from repro.core import (
     compile_program,
     structural_signature,
 )
+from repro.core.compiled import COMPILED_FORMAT
 from repro.memory import tiny_test_machine
 from repro.runtime import RuntimeConfig, TaskRuntime
 from repro.runtime.costs import DiscoveryCosts
@@ -234,7 +235,7 @@ class TestCompiledGraphCache:
         cache = CompiledGraphCache(tmp_path)
         c = compile_program(chain_program(), ABCP)
         path = cache.put(c)
-        doc = path.read_text().replace('"format":1', '"format":0', 1)
+        doc = path.read_text().replace(f'"format":{COMPILED_FORMAT}', '"format":0', 1)
         path.write_text(doc)
         assert cache.get(c.key) is None
 

@@ -124,3 +124,47 @@ class TestDiscoveryBoundDirection:
         )
         assert not est.discovery_bound
         assert check_discovery_bound(est) == []
+
+
+class TestDegenerateGraphs:
+    """The estimator must stay total on empty and trivial programs."""
+
+    def test_empty_program(self):
+        prog = ProgramBuilder("empty").build()
+        est, tdg = estimate_discovery(
+            prog, OptimizationSet.parse("ab"), scaled_skylake()
+        )
+        assert est.n_tasks == 0
+        assert est.edges_created == 0
+        assert est.discovery_total == 0.0
+        assert tdg.n_edges == 0
+        assert check_discovery_bound(est) == []
+
+    def test_single_task(self):
+        b = ProgramBuilder("one")
+        with b.iteration():
+            b.task("only", out=["x"], flops=1e6)
+        est, tdg = estimate_discovery(
+            b.build(), OptimizationSet.parse("ab"), scaled_skylake()
+        )
+        assert est.n_tasks == 1
+        assert est.edges_created == 0
+        assert est.exec_estimate > 0
+        assert not est.discovery_bound
+
+    def test_all_independent_tasks(self):
+        # A pure fan: no dependences at all; the critical path is one
+        # task and the edge count must stay zero.
+        b = ProgramBuilder("fan")
+        with b.iteration():
+            for i in range(32):
+                b.task(f"t{i}", out=[("x", i)], flops=1e7)
+        est, tdg = estimate_discovery(
+            b.build(), OptimizationSet.parse("ab"), scaled_skylake()
+        )
+        assert est.n_tasks == 32
+        assert est.edges_created == 0
+        assert tdg.n_edges == 0
+        # Perfectly parallel: the exec estimate is bounded by the
+        # work-law term, not a chain.
+        assert est.exec_estimate > 0

@@ -1,0 +1,119 @@
+"""Detrimental-pattern detectors: seeded shapes must trip exact rules."""
+
+from repro.core.optimizations import OptimizationSet
+from repro.core.program import ProgramBuilder
+from repro.memory.machine import tiny_test_machine
+from repro.verify.patterns import detect_patterns
+from repro.verify.static_graph import discover_static
+
+AB = OptimizationSet.parse("ab")
+ABCP = OptimizationSet.parse("abcp")
+
+
+def _tdg(builder, opts=AB):
+    return discover_static(builder.build(), opts)
+
+
+class TestFunnel:
+    def test_wide_fan_in_is_a_funnel(self):
+        b = ProgramBuilder("funnel")
+        with b.iteration():
+            for i in range(16):
+                b.task(f"prod[{i}]", out=[("p", i)], flops=100.0)
+            b.task("reduce", inp=[("p", i) for i in range(16)], flops=10.0)
+        findings = detect_patterns(_tdg(b))
+        funnels = [f for f in findings if f.rule == "V-PAT-FUNNEL"]
+        assert len(funnels) == 1
+        f = funnels[0]
+        assert f.tasks == ("reduce",)
+        assert f.data["indegree"] == 16
+        # Fig. 4 arithmetic: flat wiring m*n vs redirect m+n.
+        assert f.data["edges_flat"] == 16 * max(f.data["outdegree"], 1)
+        assert f.data["edges_funnel"] == 16 + f.data["outdegree"]
+
+    def test_uniform_chain_has_no_funnel(self):
+        b = ProgramBuilder("chain")
+        with b.iteration():
+            prev = None
+            for i in range(16):
+                kw = {"inp": [prev]} if prev is not None else {}
+                b.task(f"t[{i}]", out=[("x", i)], **kw)
+                prev = ("x", i)
+        findings = detect_patterns(_tdg(b))
+        assert [f for f in findings if f.rule == "V-PAT-FUNNEL"] == []
+
+
+class TestProducerBound:
+    def test_tiny_tasks_with_many_deps_are_producer_bound(self):
+        # 64 near-zero-work tasks, 8 depend items each: discovery cost
+        # dwarfs the execution the loop hands the workers.
+        b = ProgramBuilder("tiny")
+        with b.iteration():
+            for i in range(64):
+                b.task(
+                    f"w[{i}]",
+                    inp=[("r", i, k) for k in range(7)],
+                    out=[("x", i)],
+                    flops=1.0,
+                    loop="tiny",
+                )
+        findings = detect_patterns(_tdg(b), machine=tiny_test_machine(4))
+        pb = [f for f in findings if f.rule == "V-PAT-PRODBOUND"]
+        assert len(pb) == 1
+        assert pb[0].data["mode"] == "discovery"
+        assert pb[0].data["n_tasks"] == 64
+
+    def test_heavy_tasks_are_not(self):
+        b = ProgramBuilder("heavy")
+        with b.iteration():
+            for i in range(8):
+                b.task(f"w[{i}]", out=[("x", i)], flops=1e9, loop="heavy")
+        findings = detect_patterns(_tdg(b), machine=tiny_test_machine(4))
+        assert [f for f in findings if f.rule == "V-PAT-PRODBOUND"] == []
+
+
+class TestStaircase:
+    def test_narrow_barrier_segments(self):
+        b = ProgramBuilder("stairs")
+        with b.iteration():
+            for seg in range(3):
+                b.task(f"s[{seg}]", out=[("x", seg)], flops=100.0)
+                b.taskwait()
+        findings = detect_patterns(_tdg(b), threads=8)
+        st = [f for f in findings if f.rule == "V-PAT-STAIRCASE"]
+        assert len(st) == 1
+        assert st[0].data["n_segments"] >= 3
+        assert st[0].data["max_width"] == 1
+
+    def test_persistent_template_multiplies_steps(self):
+        b = ProgramBuilder("pstairs", persistent_candidate=True)
+        for _ in range(4):
+            with b.iteration():
+                for seg in range(3):
+                    b.task(f"s[{seg}]", out=[("x", seg)], flops=100.0)
+                    b.taskwait()
+        findings = detect_patterns(_tdg(b, ABCP), threads=8)
+        st = [f for f in findings if f.rule == "V-PAT-STAIRCASE"]
+        assert len(st) == 1
+        assert st[0].data["effective_steps"] == st[0].data["n_segments"] * 4
+
+    def test_wide_segments_are_clean(self):
+        b = ProgramBuilder("wide")
+        with b.iteration():
+            for seg in range(4):
+                for i in range(8):
+                    b.task(f"s{seg}[{i}]", out=[("x", seg, i)], flops=100.0)
+                b.taskwait()
+        findings = detect_patterns(_tdg(b), threads=4)
+        assert [f for f in findings if f.rule == "V-PAT-STAIRCASE"] == []
+
+
+class TestRankStamping:
+    def test_rank_propagates_to_findings(self):
+        b = ProgramBuilder("funnel")
+        with b.iteration():
+            for i in range(16):
+                b.task(f"prod[{i}]", out=[("p", i)])
+            b.task("reduce", inp=[("p", i) for i in range(16)])
+        findings = detect_patterns(_tdg(b), rank=3)
+        assert findings and all(f.rank == 3 for f in findings)

@@ -47,7 +47,10 @@ class TestVerifyProgram:
         assert "V-RACE" in text and "error" in text
         payload = json.loads(render_json(rep))
         assert payload["counts"]["error"] >= 1
-        assert payload["findings"][0]["rule"] == "V-RACE"
+        # Deterministic report order: (rule, rank, tasks, iteration, message).
+        rules = [f["rule"] for f in payload["findings"]]
+        assert rules == sorted(rules)
+        assert "V-RACE" in rules
 
     def test_clean_program_report(self):
         b = ProgramBuilder("clean")
@@ -81,6 +84,45 @@ class TestLintCommand:
         payload = json.loads(capsys.readouterr().out)
         rules = {f["rule"] for f in payload["findings"]}
         assert "V-IOSET-FANIN" in rules
+
+
+class TestLintPolicyFlags:
+    def test_bad_fail_on_exits_2(self, capsys):
+        assert main(["lint", "cholesky", "--fail-on", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "--fail-on" in err
+        assert "info" in err and "warning" in err and "error" in err
+
+    def test_cluster_lint(self, capsys):
+        assert main(["lint", "cholesky", "--ranks", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ranks"] == 2
+        assert payload["program"].startswith("cluster[2]:")
+        assert payload["counts"]["error"] == 0
+
+    def test_baseline_roundtrip_gates_only_new(self, capsys, tmp_path):
+        bl = tmp_path / "baseline.json"
+        assert main(["lint", "hpcg", "--write-baseline", str(bl)]) == 0
+        assert bl.exists()
+        # HPCG warns at lint defaults; with the baseline applied the same
+        # findings are suppressed and even --fail-on info passes.
+        assert main(["lint", "hpcg", "--fail-on", "warning"]) == 1
+        capsys.readouterr()
+        rc = main(
+            ["lint", "hpcg", "--baseline", str(bl), "--fail-on", "info",
+             "--json"]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+        assert payload["suppressed"] != []
+
+    def test_sarif_export(self, capsys, tmp_path):
+        out = tmp_path / "lint.sarif"
+        assert main(["lint", "cholesky", "--sarif", str(out)]) == 0
+        log = json.loads(out.read_text())
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["tool"]["driver"]["name"] == "repro-verify"
 
 
 class TestInfoListsVerify:
