@@ -82,6 +82,42 @@ class LuleshBench:
 
 LULESH = LuleshBench()
 
+
+def cluster_spec(
+    app: str,
+    app_cfg,
+    grid,
+    *,
+    opts: str = "abc",
+    engine: str = "task",
+    n_threads: int | None = None,
+    network=None,
+    machine=None,
+    trace: bool = True,
+) -> ExperimentSpec:
+    """A coupled-run spec for ``run_experiment_cluster(spec, grid=grid)``.
+
+    Replaces the retired ``run_lulesh_cluster``/``run_hpcg_cluster``
+    helpers: MPC-OMP on a scaled EPYC by default, tracing the profiled
+    rank (the paper's single-rank profiling).
+    """
+    from dataclasses import asdict, replace
+
+    cfg = scaled_mpc(
+        machine if machine is not None else scaled_epyc(),
+        opts=opts,
+        n_threads=n_threads,
+    )
+    return ExperimentSpec(
+        app=app,
+        config=replace(cfg, trace=trace),
+        params=asdict(app_cfg),
+        engine=engine,
+        ranks=grid.n_ranks,
+        seed=cfg.seed,
+        network=network,
+    )
+
 #: Campaign knobs shared by the benchmark drivers: a persistent result
 #: cache directory makes re-runs (and the CI smoke pass) skip completed
 #: runs; REPRO_BENCH_JOBS>1 fans sweep points out over workers.
@@ -95,6 +131,7 @@ __all__ = [
     "LULESH",
     "LuleshBench",
     "SCALE",
+    "cluster_spec",
     "scaled_epyc",
     "scaled_gcc",
     "scaled_llvm",

@@ -9,20 +9,17 @@ Paper panels reproduced as table columns:
 import sys
 
 sys.path.insert(0, "benchmarks")
-from _common import LULESH, scaled_mpc, scaled_skylake
+from _common import BENCH_CACHE, BENCH_JOBS, LULESH, scaled_mpc, scaled_skylake
 
-from repro.analysis.sweep import run_sweep
+from repro.analysis.sweep import run_spec_sweep
 from repro.analysis.tables import render_table
-from repro.apps.lulesh import build_task_program
 from repro.util.units import fmt_count
 
 
 def fig2_experiment():
-    machine = scaled_skylake()
-    return run_sweep(
-        LULESH.tpls,
-        lambda tpl: build_task_program(LULESH.config(tpl), opt_a=False),
-        lambda tpl: scaled_mpc(machine, opts="", name="mpc-noopt"),
+    base = LULESH.spec(scaled_mpc(scaled_skylake(), opts="", name="mpc-noopt"))
+    return run_spec_sweep(
+        base, LULESH.tpls, jobs=BENCH_JOBS, cache=BENCH_CACHE
     )
 
 

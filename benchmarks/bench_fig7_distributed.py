@@ -13,10 +13,10 @@ Includes the taskwait ablation (paper: -7% from flowing MPI in the TDG).
 import sys
 
 sys.path.insert(0, "benchmarks")
-from _common import LARGE, scaled_epyc, scaled_mpc
+from _common import LARGE, cluster_spec, scaled_epyc, scaled_mpc
 
-from repro.analysis.distributed import run_lulesh_cluster
 from repro.analysis.tables import render_table
+from repro.campaign.runner import run_experiment_cluster
 from repro.apps.lulesh import LuleshConfig, build_task_program
 from repro.cluster import Cluster, RankGrid
 from repro.mpi.network import bxi_like
@@ -41,15 +41,21 @@ def fig7_experiment():
     out = {"opt": [], "noopt": []}
     for tpl in TPLS:
         for label, opts in (("opt", "abcp"), ("noopt", "")):
-            res = run_lulesh_cluster(
-                GRID, lcfg(tpl), opts=opts, n_threads=THREADS, network=bxi_like()
+            spec = cluster_spec(
+                "lulesh", lcfg(tpl), GRID, opts=opts, n_threads=THREADS,
+                network=bxi_like(),
             )
+            res = run_experiment_cluster(spec, grid=GRID)
             pr = profiled(res)
             cm = comm_metrics(pr.comm, pr.trace, pr.n_threads)
             out[label].append((tpl, res.makespan, pr, cm))
     # parallel-for reference
-    res_for = run_lulesh_cluster(
-        GRID, lcfg(TPLS[0]), task_based=False, n_threads=THREADS, network=bxi_like()
+    res_for = run_experiment_cluster(
+        cluster_spec(
+            "lulesh", lcfg(TPLS[0]), GRID, engine="forloop",
+            n_threads=THREADS, network=bxi_like(),
+        ),
+        grid=GRID,
     )
     # taskwait ablation at the best TPL: both sides run the same abc
     # configuration; only the communication bracketing differs.

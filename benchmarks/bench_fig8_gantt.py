@@ -9,10 +9,10 @@ bleed into each other and the Iallreduce matches later.
 import sys
 
 sys.path.insert(0, "benchmarks")
-from _common import LARGE
+from _common import LARGE, cluster_spec
 
-from repro.analysis.distributed import run_lulesh_cluster
 from repro.apps.lulesh import LuleshConfig
+from repro.campaign.runner import run_experiment_cluster
 from repro.cluster import RankGrid
 from repro.mpi.network import bxi_like
 from repro.profiler import gantt_of
@@ -26,9 +26,10 @@ def fig8_experiment():
     cfg = LuleshConfig(s=24, iterations=ITERS, tpl=TPL, flops_per_item=25.0)
     out = {}
     for label, opts in (("enabled", "abcp"), ("disabled", "")):
-        res = run_lulesh_cluster(
-            GRID, cfg, opts=opts, n_threads=4, network=bxi_like()
+        spec = cluster_spec(
+            "lulesh", cfg, GRID, opts=opts, n_threads=4, network=bxi_like()
         )
+        res = run_experiment_cluster(spec, grid=GRID)
         out[label] = [r for r in res.results if r.extra.get("profiled")][0]
     return out
 

@@ -8,8 +8,12 @@ persistent-TDG iteration barrier is visible.
 Run:  python examples/distributed_overlap.py
 """
 
-from repro.analysis import run_lulesh_cluster, render_table
+from dataclasses import asdict, replace
+
+from repro.analysis import render_table, scaled_epyc, scaled_mpc
 from repro.apps.lulesh import LuleshConfig
+from repro.campaign import ExperimentSpec
+from repro.campaign.runner import run_experiment_cluster
 from repro.cluster import RankGrid
 from repro.mpi.network import bxi_like
 from repro.profiler import comm_metrics, gantt_of
@@ -22,9 +26,16 @@ def main() -> None:
     rows = []
     charts = {}
     for label, opts in (("optimized", "abcp"), ("no-opt", "")):
-        res = run_lulesh_cluster(
-            grid, cfg, opts=opts, n_threads=4, network=bxi_like()
+        rc = scaled_mpc(scaled_epyc(), opts=opts, n_threads=4)
+        spec = ExperimentSpec(
+            app="lulesh",
+            config=replace(rc, trace=True),
+            params=asdict(cfg),
+            ranks=grid.n_ranks,
+            seed=rc.seed,
+            network=bxi_like(),
         )
+        res = run_experiment_cluster(spec, grid=grid)
         pr = [r for r in res.results if r.extra.get("profiled")][0]
         cm = comm_metrics(pr.comm, pr.trace, pr.n_threads)
         rows.append([

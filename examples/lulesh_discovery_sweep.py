@@ -11,11 +11,12 @@ from repro.analysis import (
     geometric_tpls,
     render_series,
     render_table,
-    run_sweep,
+    run_spec_sweep,
     scaled_mpc,
     scaled_skylake,
 )
-from repro.apps.lulesh import LuleshConfig, build_for_program, build_task_program
+from repro.apps.lulesh import LuleshConfig, build_for_program
+from repro.campaign import ExperimentSpec
 from repro.cluster import Cluster
 
 
@@ -27,12 +28,14 @@ def main() -> None:
         return LuleshConfig(s=40, iterations=6, tpl=tpl, flops_per_item=25.0)
 
     sweeps = {}
-    for label, opts, opt_a in (("no-opt", "", False), ("optimized", "abcp", True)):
-        sweeps[label] = run_sweep(
-            tpls,
-            lambda tpl, a=opt_a: build_task_program(lulesh(tpl), opt_a=a),
-            lambda tpl, o=opts: scaled_mpc(machine, opts=o),
+    for label, opts in (("no-opt", ""), ("optimized", "abcp")):
+        base = ExperimentSpec(
+            app="lulesh",
+            config=scaled_mpc(machine, opts=opts),
+            params={"s": 40, "iterations": 6, "tpl": tpls[0],
+                    "flops_per_item": 25.0},
         )
+        sweeps[label] = run_spec_sweep(base, tpls)
 
     t_for = Cluster(1).run(
         [build_for_program(lulesh(tpls[0]))], [scaled_mpc(machine)]

@@ -64,7 +64,7 @@ from repro.apps.hpcg import HpcgConfig
 from repro.apps.cholesky import CholeskyConfig
 from repro.analysis import (
     metg,
-    run_sweep,
+    run_spec_sweep,
     scaled_epyc,
     scaled_gcc,
     scaled_llvm,
@@ -109,7 +109,7 @@ __all__ = [
     "HpcgConfig",
     "CholeskyConfig",
     "metg",
-    "run_sweep",
+    "run_spec_sweep",
     "scaled_epyc",
     "scaled_gcc",
     "scaled_llvm",

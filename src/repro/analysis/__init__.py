@@ -15,7 +15,6 @@ from repro.analysis.sweep import (
     SweepPoint,
     geometric_tpls,
     run_spec_sweep,
-    run_sweep,
     sweep_specs,
 )
 from repro.analysis.metg import MetgResult, metg, run_metg_study
@@ -25,7 +24,6 @@ from repro.analysis.scaling import (
     lulesh_scaling,
     weak_scaling_efficiency,
 )
-from repro.analysis.distributed import run_hpcg_cluster, run_lulesh_cluster
 from repro.analysis.tables import fmt_speedup, render_series, render_table
 from repro.analysis.fit import (
     PAPER_TABLE2,
@@ -53,7 +51,6 @@ __all__ = [
     "SweepPoint",
     "geometric_tpls",
     "run_spec_sweep",
-    "run_sweep",
     "sweep_specs",
     "MetgResult",
     "metg",
@@ -62,8 +59,6 @@ __all__ = [
     "dynamic_tpl",
     "lulesh_scaling",
     "weak_scaling_efficiency",
-    "run_hpcg_cluster",
-    "run_lulesh_cluster",
     "fmt_speedup",
     "render_series",
     "render_table",

@@ -79,6 +79,7 @@ def lulesh_scaling(
     overlap_ratio: float = 0.85,
     nodes_per_task: int = 1024,
     cache: Union[ResultCache, str, Path, None] = None,
+    fidelity: Optional[str] = None,
 ) -> list[ScalingPoint]:
     """Model Table 3's weak/strong rows.
 
@@ -87,6 +88,9 @@ def lulesh_scaling(
     TPL rule.  The inner single-rank DES probes go through
     :func:`~repro.campaign.runner.run_experiment`; pass ``cache`` to skip
     probes a previous study already ran (strong/weak studies share rows).
+    ``fidelity`` runs the *task-engine* probes at a cheaper simulation
+    tier (see :mod:`repro.sim.tiers`); the fork-join reference probes
+    always stay on DES, which the tiers do not model.
     """
     if mode not in ("weak", "strong"):
         raise ValueError(f"mode must be 'weak' or 'strong', got {mode!r}")
@@ -147,6 +151,8 @@ def lulesh_scaling(
                 params={"s": s_local, "iterations": iters, "tpl": tpl,
                         "flops_per_item": flops_per_item},
                 engine=engine,
+                fidelity=(fidelity if fidelity and engine == "task"
+                          else "des"),
                 seed=run_cfg.seed,
                 network=net,
             )

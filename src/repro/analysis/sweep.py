@@ -8,15 +8,12 @@ counters and work-time inflation.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
-from repro.core.program import Program
 from repro.runtime.result import RunResult
-from repro.runtime.runtime import RuntimeConfig, TaskRuntime
 
 if TYPE_CHECKING:  # pragma: no cover
     from pathlib import Path
@@ -129,19 +126,23 @@ def run_spec_sweep(
     timeout: Optional[float] = None,
     bus: "Optional[CampaignBus]" = None,
     progress: bool = False,
+    fidelity: Optional[str] = None,
 ) -> Sweep:
     """Run a TPL sweep through the campaign engine.
 
-    This is the spec-based successor to :func:`run_sweep`: the workload,
-    runtime config, engine and rank count all come from ``base``, each
-    point only overrides the ``param`` app parameter.  ``jobs``/``cache``
-    fan the points out and skip ones already cached.
+    The workload, runtime config, engine and rank count all come from
+    ``base``, each point only overrides the ``param`` app parameter.
+    ``jobs``/``cache`` fan the points out and skip ones already cached.
+    ``fidelity`` rewrites every point to that simulation tier (see
+    :mod:`repro.sim.tiers`) — ``"replay"`` makes dense TPL ladders ~10×
+    cheaper than DES while preserving the series shapes.
     """
     from repro.campaign.engine import run_campaign
 
     specs = sweep_specs(base, tpls, param=param)
     out = run_campaign(
-        specs, jobs=jobs, cache=cache, timeout=timeout, bus=bus, progress=progress
+        specs, jobs=jobs, cache=cache, timeout=timeout, bus=bus,
+        progress=progress, fidelity=fidelity,
     )
     if not out.ok:
         bad = out.failures[0]
@@ -154,32 +155,6 @@ def run_spec_sweep(
             for t, rec in zip(tpls, out.records)
         ]
     )
-
-
-def run_sweep(
-    tpls: Sequence[int],
-    program_factory: Callable[[int], Program],
-    config_factory: Callable[[int], RuntimeConfig],
-) -> Sweep:
-    """Run one simulation per TPL value.
-
-    .. deprecated::
-        Factory-based sweeps predate :class:`~repro.campaign.spec.ExperimentSpec`;
-        use :func:`run_spec_sweep`, which adds caching and parallel fan-out.
-    """
-    warnings.warn(
-        "run_sweep(program_factory, config_factory) is deprecated; "
-        "use repro.analysis.sweep.run_spec_sweep(base_spec, tpls)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    points = []
-    for tpl in tpls:
-        prog = program_factory(tpl)
-        cfg = config_factory(tpl)
-        res = TaskRuntime(prog, cfg).run()
-        points.append(SweepPoint(tpl=tpl, result=res))
-    return Sweep(points)
 
 
 def geometric_tpls(lo: int, hi: int, n: int = 10) -> list[int]:

@@ -1,0 +1,39 @@
+"""repro.api — the blessed, stable surface of the package.
+
+Downstream code (notebooks, benchmark drivers, external tooling) should
+import from here rather than from deep module paths: these names are the
+package's stability boundary (see DESIGN.md), kept source- and
+behaviour-compatible across versions, with removals staged through
+MIGRATION.md.  Everything else in ``repro.*`` is implementation detail
+that may move between minor versions.
+
+The surface, end to end:
+
+- :class:`ExperimentSpec` — describe one run (app, params, config,
+  engine, fidelity, ranks, seed, scale, network);
+- :func:`run_experiment` — execute one spec at its fidelity tier;
+- :func:`run_campaign` — fan a list of specs out with caching/resume;
+- :func:`compile_program` — freeze a program's TDG into a
+  :class:`~repro.core.compiled.CompiledTDG` artifact;
+- :func:`simulate` — run a compiled artifact through any fidelity tier
+  (``analytic``/``replay``/``des``) directly;
+- :func:`verify_program` / :func:`verify_cluster` — DES-free static
+  verification (races, depend lint, MPI matching).
+"""
+
+from repro.campaign.engine import run_campaign
+from repro.campaign.runner import run_experiment
+from repro.campaign.spec import ExperimentSpec
+from repro.core.compiled import compile_program
+from repro.sim.tiers import simulate
+from repro.verify import verify_cluster, verify_program
+
+__all__ = [
+    "ExperimentSpec",
+    "compile_program",
+    "run_campaign",
+    "run_experiment",
+    "simulate",
+    "verify_cluster",
+    "verify_program",
+]

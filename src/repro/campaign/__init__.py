@@ -9,10 +9,19 @@ The public experiment API:
 - :func:`run_campaign` — execute a list of specs across worker processes
   with a content-addressed :class:`ResultCache`, resumability, per-run
   timeout, retry-once robustness and :class:`CampaignBus` progress events.
+- :func:`cross_check` — tier agreement on the golden set: analytic
+  bounds bracket replay and DES, replay within tolerance of DES.
 """
 
 from repro.campaign.bus import CampaignBus, ProgressPrinter
 from repro.campaign.cache import CACHE_FORMAT, ResultCache
+from repro.campaign.crosscheck import (
+    REPLAY_TOLERANCE,
+    CrossCheckReport,
+    CrossCheckRow,
+    cross_check,
+    golden_specs,
+)
 from repro.campaign.engine import CampaignResult, RunRecord, run_campaign
 from repro.campaign.runner import (
     build_programs,
@@ -23,6 +32,7 @@ from repro.campaign.runner import (
 from repro.campaign.spec import (
     APPS,
     ENGINES,
+    FIDELITIES,
     ExperimentSpec,
     dump_specs,
     load_specs,
@@ -33,14 +43,20 @@ __all__ = [
     "CACHE_FORMAT",
     "CampaignBus",
     "CampaignResult",
+    "CrossCheckReport",
+    "CrossCheckRow",
     "ENGINES",
     "ExperimentSpec",
+    "FIDELITIES",
     "ProgressPrinter",
+    "REPLAY_TOLERANCE",
     "ResultCache",
     "RunRecord",
     "build_programs",
+    "cross_check",
     "derive_config",
     "dump_specs",
+    "golden_specs",
     "load_specs",
     "run_campaign",
     "run_experiment",

@@ -178,6 +178,7 @@ def run_campaign(
     retries: int = 1,
     bus: Optional[CampaignBus] = None,
     progress: bool = False,
+    fidelity: Optional[str] = None,
 ) -> CampaignResult:
     """Execute a campaign of experiment specs.
 
@@ -202,9 +203,16 @@ def run_campaign(
     retries:
         Extra attempts after a worker death or timeout (default 1: the
         retry-once robustness contract).
+    fidelity:
+        When set, every spec is rewritten to that simulation tier
+        (``spec.with_fidelity``) before execution — the campaign-level
+        switch behind ``repro campaign --fidelity``.  Rewritten specs
+        hash to their own keys, so tiers never cross-pollute the cache.
     """
     if retries < 0:
         raise ValueError(f"retries must be >= 0, got {retries}")
+    if fidelity is not None:
+        specs = [s.with_fidelity(fidelity) for s in specs]
     bus = bus if bus is not None else CampaignBus()
     if progress:
         bus.attach(ProgressPrinter(len(specs)))

@@ -152,6 +152,80 @@ def run_experiment_cluster(
     return out
 
 
+def _artifact_alias(spec: ExperimentSpec, cfg: RuntimeConfig) -> str:
+    """Cache-alias key for the spec's compiled TDG.
+
+    Hashes exactly the spec fields that determine the artifact — the
+    workload, the discovery optimization set and the (scaled) discovery
+    cost model — so the cheap tiers can map a spec straight to a stored
+    artifact without building the program at all.
+    """
+    from repro.util.serde import content_key
+
+    return content_key(
+        {
+            "app": spec.app,
+            "params": spec.params_dict,
+            "seed": spec.seed,
+            "opts": cfg.opts.to_dict(),
+            "discovery": cfg.discovery.to_dict(),
+        }
+    )
+
+
+def _compiled_artifact(
+    spec: ExperimentSpec,
+    cfg: RuntimeConfig,
+    *,
+    compiled_cache: Optional["CompiledGraphCache"] = None,
+    bus=None,
+) -> tuple:
+    """The spec's :class:`CompiledTDG` and whether it came from the cache.
+
+    A warm cache hit resolves through the alias index and skips the
+    program build entirely — the fast path the replay/analytic tiers
+    exist for.  Artifacts are stored with their discovery costs stamped
+    (``iteration_costs``), which persistent replay needs for its round
+    count.
+    """
+    from repro.core.compiled import compile_program
+
+    alias = None
+    if compiled_cache is not None:
+        alias = _artifact_alias(spec, cfg)
+        key = compiled_cache.get_alias(alias)
+        if key is not None:
+            art = compiled_cache.get(key)
+            if art is not None and (
+                not art.persistent or art.iteration_costs
+            ):
+                return art, True
+    program = build_programs(spec)[0]
+    art = compile_program(program, cfg.opts, costs=cfg.discovery, bus=bus)
+    if compiled_cache is not None:
+        compiled_cache.put(art)
+        compiled_cache.put_alias(alias, art.key)
+    return art, False
+
+
+def _run_tier(
+    spec: ExperimentSpec,
+    *,
+    compiled_cache: Optional["CompiledGraphCache"] = None,
+    bus=None,
+) -> RunResult:
+    """Execute a cheap-tier (``analytic``/``replay``) spec."""
+    from repro.sim.tiers import simulate
+
+    cfg = derive_config(spec)
+    art, hit = _compiled_artifact(
+        spec, cfg, compiled_cache=compiled_cache, bus=bus
+    )
+    res = simulate(art, cfg, fidelity=spec.fidelity)
+    res.extra.setdefault("compiled_tdg", {})["cache_hit"] = hit
+    return res
+
+
 def run_experiment(
     spec: ExperimentSpec,
     *,
@@ -172,6 +246,10 @@ def run_experiment(
     calling (the bus carries no state, so a quiet bus keeps the
     determinism contract).
     """
+    if spec.fidelity != "des":
+        res = _run_tier(spec, compiled_cache=compiled_cache, bus=bus)
+        res.extra["spec_key"] = spec.key
+        return res
     if spec.ranks == 1:
         cfg = derive_config(spec)
         program = build_programs(spec)[0]
@@ -208,5 +286,10 @@ def run_experiment(
             "rank_makespans": [rr.makespan for rr in out.results],
             "profiled_rank": profiled,
         }
+    # RunResult unification: every tier reports its fidelity and bounds
+    # explicitly (DES has no analytic bounds — that is a None, not a
+    # missing key).
+    res.extra.setdefault("fidelity", "des")
+    res.extra.setdefault("bounds", None)
     res.extra["spec_key"] = spec.key
     return res

@@ -25,6 +25,7 @@ from typing import Any, Iterable, Mapping, Optional, Tuple, Union
 from repro.core.optimizations import OptimizationSet
 from repro.mpi.network import NetworkSpec
 from repro.runtime.runtime import RuntimeConfig
+from repro.sim.tiers import FIDELITIES
 from repro.util.serde import canonical_json, content_key
 
 #: Workloads the runner knows how to build.
@@ -50,6 +51,12 @@ class ExperimentSpec:
     config: RuntimeConfig
     params: Any = field(default=())
     engine: str = "task"
+    #: Simulation fidelity tier (see :mod:`repro.sim.tiers`): ``"des"``
+    #: is the full discrete-event reference; ``"replay"`` list-schedules
+    #: the compiled TDG; ``"analytic"`` computes work/span bounds.  The
+    #: default keeps pre-tier specs byte-identical: ``"des"`` is omitted
+    #: from :meth:`to_dict`, so old spec JSON and cache keys are stable.
+    fidelity: str = "des"
     ranks: int = 1
     seed: int = 0
     #: Calibration factor applied to the per-task cost models at run time
@@ -66,8 +73,25 @@ class ExperimentSpec:
             raise ValueError(
                 f"unknown engine {self.engine!r}; expected one of {ENGINES}"
             )
+        if self.fidelity not in FIDELITIES:
+            raise ValueError(
+                f"unknown fidelity {self.fidelity!r}; "
+                f"expected one of {FIDELITIES}"
+            )
         if self.app == "cholesky" and self.engine == "forloop":
             raise ValueError("cholesky has no fork-join reference version")
+        if self.fidelity != "des":
+            if self.engine != "task":
+                raise ValueError(
+                    f"fidelity {self.fidelity!r} requires engine 'task' "
+                    f"(the cheap tiers consume a compiled TDG); "
+                    f"got engine {self.engine!r}"
+                )
+            if self.ranks != 1:
+                raise ValueError(
+                    f"fidelity {self.fidelity!r} is single-rank only; "
+                    f"got ranks={self.ranks}"
+                )
         if not isinstance(self.ranks, int) or self.ranks < 1:
             raise ValueError(f"ranks must be an int >= 1, got {self.ranks!r}")
         if not self.scale > 0:
@@ -99,6 +123,8 @@ class ExperimentSpec:
         """Compact human-readable run label for progress lines."""
         parts = [f"{k}={v}" for k, v in self.params]
         bits = [self.app, self.engine]
+        if self.fidelity != "des":
+            bits.append(self.fidelity)
         if self.ranks > 1:
             bits.append(f"ranks={self.ranks}")
         return f"{'/'.join(bits)}({', '.join(parts)})[{self.config.name}]"
@@ -110,10 +136,19 @@ class ExperimentSpec:
         merged.update(updates)
         return replace(self, params=merged)
 
+    def with_fidelity(self, fidelity: str) -> "ExperimentSpec":
+        """A copy at another fidelity tier (validated on construction)."""
+        return replace(self, fidelity=fidelity)
+
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        """JSON-ready dict; inverse of :meth:`from_dict`."""
-        return {
+        """JSON-ready dict; inverse of :meth:`from_dict`.
+
+        ``fidelity`` is serialized only when it deviates from ``"des"``:
+        a pre-tier spec and a ``fidelity="des"`` spec render to the same
+        JSON, hash to the same :attr:`key`, and hit the same cache rows.
+        """
+        out = {
             "app": self.app,
             "params": self.params_dict,
             "config": self.config.to_dict(),
@@ -123,12 +158,15 @@ class ExperimentSpec:
             "scale": self.scale,
             "network": None if self.network is None else self.network.to_dict(),
         }
+        if self.fidelity != "des":
+            out["fidelity"] = self.fidelity
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
         d = dict(data)
-        known = {"app", "params", "config", "engine", "ranks", "seed",
-                 "scale", "network"}
+        known = {"app", "params", "config", "engine", "fidelity", "ranks",
+                 "seed", "scale", "network"}
         unknown = set(d) - known
         if unknown:
             raise ValueError(f"unknown ExperimentSpec field(s) {sorted(unknown)}")
@@ -136,7 +174,7 @@ class ExperimentSpec:
             "app": d["app"],
             "config": RuntimeConfig.from_dict(d["config"]),
         }
-        for name in ("params", "engine", "ranks", "seed", "scale"):
+        for name in ("params", "engine", "fidelity", "ranks", "seed", "scale"):
             if name in d:
                 kwargs[name] = d[name]
         if d.get("network") is not None:

@@ -174,6 +174,7 @@ def cmd_sweep(args) -> int:
         jobs=args.jobs,
         cache=args.cache_dir,
         progress=args.jobs > 1,
+        fidelity=args.fidelity,
     )
     rows = [
         [p.tpl, f"{p.total * 1e3:.3f}", f"{p.execution * 1e3:.3f}",
@@ -227,7 +228,12 @@ def cmd_campaign(args) -> int:
             config=_presets.mpc_omp(n_threads=4),
             params={"s": 16, "iterations": 2, "tpl": 8},
         )
-        print(dump_specs([base.with_params(tpl=t) for t in (8, 16, 32, 64)]))
+        # One DES ladder plus the same points at the replay tier — the
+        # example exercises the fidelity axis end to end.
+        specs = [base.with_params(tpl=t) for t in (8, 16, 32, 64)]
+        specs += [s.with_fidelity("replay") for s in specs]
+        specs.append(base.with_fidelity("analytic"))
+        print(dump_specs(specs))
         print(f"\n# {_EXAMPLE_CAMPAIGN}".replace("\n", "\n# "), file=sys.stderr)
         return 0
     if args.specfile is None:
@@ -245,6 +251,7 @@ def cmd_campaign(args) -> int:
         timeout=args.timeout,
         retries=args.retries,
         progress=not args.json,
+        fidelity=args.fidelity,
     )
     if args.json:
         print(canonical_json(out.to_dict()))
@@ -558,6 +565,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None,
                    help="result cache directory (points already cached are "
                         "not re-run)")
+    p.add_argument("--fidelity", default=None,
+                   choices=("analytic", "replay", "des"),
+                   help="simulation tier for every point (default: des); "
+                        "'replay' list-schedules the compiled TDG ~10x "
+                        "faster, 'analytic' computes work/span bounds")
     p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser(
@@ -581,6 +593,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print a deterministic JSON campaign summary")
     p.add_argument("--example", action="store_true",
                    help="print an example spec file and exit")
+    p.add_argument("--fidelity", default=None,
+                   choices=("analytic", "replay", "des"),
+                   help="rewrite every spec to this simulation tier "
+                        "(default: each spec's own fidelity field)")
     p.set_defaults(fn=cmd_campaign)
 
     p = sub.add_parser("validate", help="numeric end-to-end validation")

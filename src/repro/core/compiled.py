@@ -46,7 +46,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: On-disk format of cached compiled graphs; bump on schema change so
 #: stale entries miss instead of deserializing wrongly.
-COMPILED_FORMAT = 2
+COMPILED_FORMAT = 3
 
 #: Signature schema version (bump when the signature covers new fields —
 #: old cache entries then miss, never alias).
@@ -155,6 +155,26 @@ class CompiledTDG:
     comm_peer: list[int] = field(default_factory=list)
     comm_tag: list[int] = field(default_factory=list)
     comm_nbytes: list[int] = field(default_factory=list)
+    # ---- per-task discovery accounting (aligned columns) -------------
+    #: Resolution counts per task — addresses scanned, edges created,
+    #: edge-creations skipped, redirect stubs created.  Stubs carry
+    #: zeros (their creation is charged to the creating task).  Together
+    #: with a :class:`~repro.runtime.costs.DiscoveryCosts` these
+    #: reconstruct the exact per-task producer cost
+    #: (:meth:`creation_costs`), which is what lets the replay tier
+    #: stamp submission times without re-resolving anything.
+    disc_addrs: list[int] = field(default_factory=list)
+    disc_edges: list[int] = field(default_factory=list)
+    disc_skips: list[int] = field(default_factory=list)
+    disc_redirects: list[int] = field(default_factory=list)
+    # ---- memory-model columns ----------------------------------------
+    #: Total footprint bytes each task touches (sum over its chunks) —
+    #: what the DES memory hierarchy charges body time for.
+    foot_bytes: list[int] = field(default_factory=list)
+    #: Distinct footprint bytes over the whole graph (each chunk counted
+    #: once at its largest extent): the working-set size the cheap tiers
+    #: compare against cache capacities.
+    distinct_foot_bytes: int = 0
 
     def __post_init__(self) -> None:
         # Artifacts built before the comm columns existed (or tests that
@@ -165,6 +185,16 @@ class CompiledTDG:
             self.comm_peer = [-1] * n
             self.comm_tag = [0] * n
             self.comm_nbytes = [0] * n
+        # Same for the discovery columns: direct construction gets zero
+        # counts (creation costs degrade to c_task per task).
+        if not self.disc_addrs:
+            n = len(self.indegree)
+            self.disc_addrs = [0] * n
+            self.disc_edges = [0] * n
+            self.disc_skips = [0] * n
+            self.disc_redirects = [0] * n
+        if not self.foot_bytes:
+            self.foot_bytes = [0] * len(self.indegree)
 
     # ------------------------------------------------------------------
     @property
@@ -222,6 +252,34 @@ class CompiledTDG:
             for stub, fp in zip(self.is_stub, self.fp_bytes)
         ]
 
+    def creation_costs(self, costs: "DiscoveryCosts") -> list[float]:
+        """Per-task first-discovery cost under ``costs``, aligned by tid.
+
+        Exactly :meth:`DiscoveryCosts.creation_cost` replayed from the
+        stored resolution counts; stubs cost nothing (their c_redirect is
+        charged to the creating task's ``disc_redirects``).  Artifacts
+        built without discovery columns (direct construction) degrade to
+        ``c_task`` per user task.
+        """
+        return [
+            0.0
+            if stub
+            else (
+                costs.c_task
+                + costs.c_dep * a
+                + costs.c_edge * e
+                + costs.c_edge_skip * s
+                + costs.c_redirect * r
+            )
+            for stub, a, e, s, r in zip(
+                self.is_stub,
+                self.disc_addrs,
+                self.disc_edges,
+                self.disc_skips,
+                self.disc_redirects,
+            )
+        ]
+
     # ------------------------------------------------------------------
     @classmethod
     def from_table(
@@ -233,13 +291,16 @@ class CompiledTDG:
         spec_pos: Sequence[int],
         owner: int = 0,
         iteration_costs: Sequence[float] = (),
+        disc: Optional[Sequence[tuple[int, int, int, int]]] = None,
     ) -> "CompiledTDG":
         """Freeze a discovered :class:`~repro.sim.table.TaskTable`.
 
         Cheap by design (one CSR flatten plus column copies): the runtime
         calls this at the first persistent barrier, on the hot path of an
         uncached run.  ``segment`` and ``spec_pos`` are supplied by the
-        caller — the table does not track them.
+        caller — the table does not track them.  ``disc`` rows are
+        ``(n_addrs, n_edges, n_skipped, n_redirects)`` per tid (zeros for
+        stubs), filling the discovery columns.
         """
         n = len(table)
         if len(segment) != n or len(spec_pos) != n:
@@ -247,9 +308,22 @@ class CompiledTDG:
                 f"segment/spec_pos must align with the table "
                 f"({len(segment)}/{len(spec_pos)} vs {n} tasks)"
             )
+        if disc is not None and len(disc) != n:
+            raise ValueError(
+                f"disc must align with the table ({len(disc)} vs {n} tasks)"
+            )
         offsets, targets = table.build_csr()
         stats = EdgeStats()
         stats.merge(table.stats)
+        foot_bytes: list[int] = []
+        chunk_extent: dict[int, int] = {}
+        for fp in table.footprint:
+            tot = 0
+            for cid, nb in fp:
+                tot += nb
+                if nb > chunk_extent.get(cid, 0):
+                    chunk_extent[cid] = nb
+            foot_bytes.append(tot)
         comm_kind = [-1] * n
         comm_peer = [-1] * n
         comm_tag = [0] * n
@@ -281,6 +355,12 @@ class CompiledTDG:
             comm_peer=comm_peer,
             comm_tag=comm_tag,
             comm_nbytes=comm_nbytes,
+            disc_addrs=[row[0] for row in disc] if disc is not None else [],
+            disc_edges=[row[1] for row in disc] if disc is not None else [],
+            disc_skips=[row[2] for row in disc] if disc is not None else [],
+            disc_redirects=[row[3] for row in disc] if disc is not None else [],
+            foot_bytes=foot_bytes,
+            distinct_foot_bytes=sum(chunk_extent.values()),
         )
 
     # ------------------------------------------------------------------
@@ -307,6 +387,12 @@ class CompiledTDG:
             "comm_peer": self.comm_peer,
             "comm_tag": self.comm_tag,
             "comm_nbytes": self.comm_nbytes,
+            "disc_addrs": self.disc_addrs,
+            "disc_edges": self.disc_edges,
+            "disc_skips": self.disc_skips,
+            "disc_redirects": self.disc_redirects,
+            "foot_bytes": self.foot_bytes,
+            "distinct_foot_bytes": self.distinct_foot_bytes,
         }
 
     @classmethod
@@ -365,6 +451,7 @@ def compile_program(
     create_cbs = bus.task_create if bus is not None else None
     segment: list[int] = []
     spec_pos: list[int] = []
+    disc: list[tuple[int, int, int, int]] = []
     iteration_costs: list[float] = []
     seg = 0
 
@@ -398,11 +485,15 @@ def compile_program(
             spec_pos.append(pos)
             res = resolver.resolve_tid(tid, spec.depends)
             table.npred_initial[tid] = table.npred[tid] + table.presat[tid]
+            disc.append(
+                (res.n_addrs, res.n_edges, res.n_skipped, res.n_redirects)
+            )
             for _stub in res.redirect_tids:
                 # Stubs are created during this task's resolution and
                 # share its barrier epoch.
                 segment.append(seg)
                 spec_pos.append(-1)
+                disc.append((0, 0, 0, 0))
             cost = costs.creation_cost(spec, res) if costs is not None else 0.0
             it_cost += cost
             if create_cbs:
@@ -420,6 +511,7 @@ def compile_program(
         spec_pos=spec_pos,
         owner=owner,
         iteration_costs=iteration_costs if costs is not None else (),
+        disc=disc,
     )
     if keep_graph:
         return compiled, graph
@@ -479,6 +571,51 @@ class CompiledGraphCache:
         )
         fd, tmp = tempfile.mkstemp(
             dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(doc)
+                fh.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # ------------------------------------------------------------------
+    # alias index: arbitrary string key -> structural signature
+    #
+    # The cheap fidelity tiers key their warm path off the *spec* (app +
+    # params + opts), which is knowable without building the program —
+    # but artifacts are addressed by structural_signature, which is not.
+    # The alias layer bridges the two: a tiny <root>/alias/<key>.json
+    # pointing at the signature, written with the same atomic idiom.
+    def alias_path(self, alias: str) -> Path:
+        return self.root / "alias" / alias[:2] / f"{alias}.json"
+
+    def get_alias(self, alias: str) -> Optional[str]:
+        """The signature a previously stored alias points to, or None."""
+        try:
+            doc = json.loads(self.alias_path(alias).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if doc.get("format") != COMPILED_FORMAT or doc.get("alias") != alias:
+            return None
+        key = doc.get("key")
+        return key if isinstance(key, str) else None
+
+    def put_alias(self, alias: str, key: str) -> Path:
+        """Record ``alias -> key``, atomically."""
+        path = self.alias_path(alias)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = canonical_json(
+            {"format": COMPILED_FORMAT, "alias": alias, "key": key}
+        )
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{alias[:8]}-", suffix=".tmp"
         )
         try:
             with os.fdopen(fd, "w") as fh:

@@ -93,6 +93,16 @@ class RunResult:
         return self.idle_total / self.n_threads
 
     @property
+    def utilization(self) -> float:
+        """Fraction of thread-seconds spent in task bodies.
+
+        Reads identically at every fidelity tier: work_total over
+        ``n_threads * makespan`` (0.0 for an empty run).
+        """
+        denom = self.n_threads * self.makespan
+        return self.work_total / denom if denom > 0 else 0.0
+
+    @property
     def discovery_wall(self) -> float:
         """Discovery span duration (first to last task creation)."""
         a, b = self.discovery_span

@@ -293,6 +293,10 @@ class TaskRuntime:
         self.work = [0.0] * n
         self.overhead = [0.0] * n
         self.discovery_busy = 0.0
+        # Per-task resolution counts in tid order (creator row followed by
+        # zero rows for its redirect stubs) — the discovery columns of the
+        # compiled()-snapshot artifact.
+        self._disc_rows: list[tuple[int, int, int, int]] = []
         self._disc_first = _NAN
         self._disc_last = _NAN
         self._exec_first = _NAN
@@ -536,6 +540,10 @@ class TaskRuntime:
                 tb.device[tid] = True
             res = self.resolver.resolve_tid(tid, spec.depends)
             tb.npred_initial[tid] = tb.npred[tid] + tb.presat[tid]
+            self._disc_rows.append(
+                (res.n_addrs, res.n_edges, res.n_skipped, res.n_redirects)
+            )
+            self._disc_rows.extend((0, 0, 0, 0) for _ in res.redirect_tids)
             for stub in res.redirect_tids:
                 self._arm_stub(stub)
             if self._persistent_mode:
@@ -788,12 +796,14 @@ class TaskRuntime:
                 self.program, self.config.opts
             )
         segment, spec_pos = self._segment_columns()
+        disc = self._disc_rows
         art = CompiledTDG.from_table(
             self.table,
             key=self._compiled_key,
             segment=segment,
             spec_pos=spec_pos,
             owner=self.rank,
+            disc=disc if len(disc) == len(self.table) else None,
         )
         if self._persistent_mode:
             # Replay re-stamps the table's iteration column for tracing;

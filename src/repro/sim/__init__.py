@@ -20,7 +20,13 @@ All three execution engines (:class:`~repro.runtime.runtime.TaskRuntime`,
   (parallel columns for state, predecessor counts, cost fields; successor
   lists flattenable to a CSR layout).  :class:`~repro.core.task.Task`
   objects are thin views over table rows, kept for the public API and
-  :mod:`repro.verify`.
+  :mod:`repro.verify`;
+- :mod:`repro.sim.tiers` — the fidelity ladder: three interchangeable
+  :class:`Simulator` implementations (``analytic`` work/span bounds,
+  ``replay`` list-scheduling over a compiled TDG, ``des`` the reference
+  engines) all returning the same
+  :class:`~repro.runtime.result.RunResult` shape; :func:`simulate` is
+  the uniform entrypoint.
 """
 
 from repro.sim.bus import HOOK_DOCS, HookBus, InstrumentationBus
@@ -34,15 +40,46 @@ from repro.sim.subscribers import (
 )
 from repro.sim.table import TaskTable
 
+# tiers pulls in the runtime layer, which itself builds on this kernel
+# (core.graph imports sim.table), so the tier names must resolve lazily
+# (PEP 562) to keep the package import acyclic.
+_TIER_NAMES = (
+    "AnalyticSimulator",
+    "DEFAULT_FIDELITY",
+    "DesSimulator",
+    "FIDELITIES",
+    "ReplaySimulator",
+    "Simulator",
+    "get_simulator",
+    "simulate",
+)
+
+
+def __getattr__(name: str):
+    if name in _TIER_NAMES:
+        from repro.sim import tiers
+
+        return getattr(tiers, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "AnalyticSimulator",
     "CommRecorder",
+    "DEFAULT_FIDELITY",
+    "DesSimulator",
+    "FIDELITIES",
     "HOOK_DOCS",
     "HookBus",
     "EventCounter",
     "EventQueue",
     "InstrumentationBus",
     "MemorySampler",
+    "ReplaySimulator",
     "SimContext",
+    "Simulator",
     "TaskTable",
     "TraceSubscriber",
+    "get_simulator",
+    "simulate",
 ]

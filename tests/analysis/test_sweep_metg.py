@@ -3,20 +3,18 @@
 import pytest
 
 from repro.analysis.metg import metg
-from repro.analysis.sweep import Sweep, geometric_tpls, run_sweep
-from repro.apps.lulesh import LuleshConfig, build_task_program
+from repro.analysis.sweep import Sweep, geometric_tpls, run_spec_sweep
 from repro.analysis.calibration import scaled_mpc, scaled_skylake
+from repro.campaign.spec import ExperimentSpec
 
 
-def small_sweep(tpls=(4, 8, 16), opts="abc"):
-    def prog(tpl):
-        return build_task_program(
-            LuleshConfig(s=12, iterations=2, tpl=tpl), opt_a=True
-        )
-
-    return run_sweep(
-        tpls, prog, lambda tpl: scaled_mpc(scaled_skylake(8), opts=opts, n_threads=8)
+def small_sweep(tpls=(4, 8, 16), opts="abc", fidelity=None):
+    base = ExperimentSpec(
+        app="lulesh",
+        config=scaled_mpc(scaled_skylake(8), opts=opts, n_threads=8),
+        params={"s": 12, "iterations": 2, "tpl": tpls[0]},
     )
+    return run_spec_sweep(base, list(tpls), fidelity=fidelity)
 
 
 class TestGeometricTpls:
@@ -63,6 +61,22 @@ class TestSweep:
     def test_empty_sweep_rejected(self):
         with pytest.raises(ValueError):
             Sweep([])
+
+
+class TestFidelityPassThrough:
+    def test_replay_sweep_tracks_des(self):
+        des = small_sweep((4, 8, 16))
+        rep = small_sweep((4, 8, 16), fidelity="replay")
+        assert all(
+            p.result.extra["fidelity"] == "replay" for p in rep.points
+        )
+        for d, r in zip(des.points, rep.points):
+            assert abs(r.total - d.total) <= 0.10 * d.total
+
+    def test_analytic_sweep_runs(self):
+        sw = small_sweep((4, 8), fidelity="analytic")
+        assert all(p.result.extra["bounds"] is not None for p in sw.points)
+        assert all(p.total > 0 for p in sw.points)
 
 
 class TestMetg:

@@ -78,10 +78,21 @@ class TestTaskProgram:
         assert r.n_tasks == 2 * tasks_per_iteration(c)
 
     def test_distributed_runs(self):
-        from repro.analysis.distributed import run_hpcg_cluster
+        from dataclasses import asdict
 
+        from repro.analysis.calibration import scaled_mpc
+        from repro.campaign.runner import run_experiment_cluster
+        from repro.campaign.spec import ExperimentSpec
+
+        grid = RankGrid(2, 1, 1)
         c = HpcgConfig(n_rows=512, iterations=2, tpl=4, spmv_sub=2)
-        res = run_hpcg_cluster(RankGrid(2, 1, 1), c, n_threads=2)
+        spec = ExperimentSpec(
+            app="hpcg",
+            config=scaled_mpc(opts="abc", n_threads=2),
+            params=asdict(c),
+            ranks=grid.n_ranks,
+        )
+        res = run_experiment_cluster(spec, grid=grid)
         assert res.n_ranks == 2
         assert all(r.n_tasks > 0 for r in res.results)
 

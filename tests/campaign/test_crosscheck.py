@@ -1,0 +1,82 @@
+"""Golden-set cross-check: the fidelity ladder's executable contract.
+
+The row/report mechanics are tested on synthetic numbers; the full
+golden-set run (19 specs x 3 tiers through the real campaign engine) is
+the acceptance gate for the replay and analytic models.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.crosscheck import (
+    REPLAY_TOLERANCE,
+    CrossCheckReport,
+    CrossCheckRow,
+    cross_check,
+    golden_specs,
+)
+
+
+def row(des=1.0, replay=1.0, lower=0.5, upper=2.0) -> CrossCheckRow:
+    return CrossCheckRow(
+        label="x", key="k", des=des, replay=replay, lower=lower, upper=upper
+    )
+
+
+class TestRowMechanics:
+    def test_rel_err_signed(self):
+        assert row(des=1.0, replay=1.05).rel_err == pytest.approx(0.05)
+        assert row(des=1.0, replay=0.95).rel_err == pytest.approx(-0.05)
+
+    def test_bracketing(self):
+        assert row().brackets_des and row().brackets_replay
+        assert not row(des=3.0).brackets_des
+        assert not row(replay=0.2).brackets_replay
+
+    def test_ok_combines_all_three(self):
+        assert row().ok(0.08)
+        assert not row(replay=1.2).ok(0.08)  # tolerance breach
+        assert not row(des=0.4).ok(0.08)  # bracket breach
+        # Just inside the bound counts as ok.
+        assert row(replay=1.079).ok(0.08)
+
+    def test_report_gates(self):
+        good = CrossCheckReport(rows=[row(), row(replay=1.01)])
+        assert good.ok
+        assert good.worst_rel_err == pytest.approx(0.01)
+        bad = CrossCheckReport(rows=[row(replay=1.5)])
+        assert not bad.ok
+        assert len(bad.violations) == 1
+        errored = CrossCheckReport(rows=[row()], errors={"s": "boom"})
+        assert not errored.ok
+        assert "FAILED" in errored.summary()
+        assert "OK" in good.summary()
+
+    def test_to_dict_round(self):
+        d = CrossCheckReport(rows=[row()]).to_dict()
+        assert d["ok"] is True
+        assert d["tolerance"] == REPLAY_TOLERANCE
+        assert d["rows"][0]["label"] == "x"
+
+
+class TestGoldenSet:
+    def test_exactly_nineteen_des_specs(self):
+        specs = golden_specs()
+        assert len(specs) == 19
+        assert all(s.fidelity == "des" for s in specs)
+        assert all(s.ranks == 1 and s.engine == "task" for s in specs)
+        assert {s.app for s in specs} == {"lulesh", "hpcg", "cholesky"}
+        assert len({s.key for s in specs}) == 19
+
+    @pytest.mark.slow
+    def test_golden_set_cross_check_holds(self):
+        report = cross_check(progress=False)
+        assert report.ok, report.summary() + "".join(
+            f"\n  {r.label}: rel_err={r.rel_err:+.3f} "
+            f"[{r.lower:.4g}, {r.upper:.4g}] des={r.des:.4g} "
+            f"replay={r.replay:.4g}"
+            for r in report.violations
+        ) + "".join(f"\n  {k}: {v}" for k, v in report.errors.items())
+        assert len(report.rows) == 19
+        assert report.worst_rel_err <= REPLAY_TOLERANCE

@@ -5,11 +5,19 @@ hold the simulator to it (the event queue is tie-broken by sequence number
 and all randomness flows through seeded generators).
 """
 
+from dataclasses import asdict, replace
+
 import numpy as np
 
-from repro.analysis.calibration import scaled_mpc, scaled_network, scaled_skylake
-from repro.analysis.distributed import run_lulesh_cluster
+from repro.analysis.calibration import (
+    scaled_epyc,
+    scaled_mpc,
+    scaled_network,
+    scaled_skylake,
+)
 from repro.apps.lulesh import LuleshConfig, build_task_program
+from repro.campaign.runner import run_experiment_cluster
+from repro.campaign.spec import ExperimentSpec
 from repro.cluster import RankGrid
 from repro.runtime import TaskRuntime
 
@@ -36,13 +44,18 @@ class TestDeterminism:
 
     def test_cluster_bitwise_repeatable(self):
         def run():
-            return run_lulesh_cluster(
-                RankGrid.cubic(8),
-                LuleshConfig(s=12, iterations=2, tpl=8, flops_per_item=25.0),
-                opts="abc",
-                n_threads=4,
+            cfg = scaled_mpc(scaled_epyc(), opts="abc", n_threads=4)
+            spec = ExperimentSpec(
+                app="lulesh",
+                config=replace(cfg, trace=True),
+                params=asdict(
+                    LuleshConfig(s=12, iterations=2, tpl=8, flops_per_item=25.0)
+                ),
+                ranks=8,
+                seed=cfg.seed,
                 network=scaled_network(),
             )
+            return run_experiment_cluster(spec, grid=RankGrid.cubic(8))
 
         a, b = run(), run()
         assert a.makespan == b.makespan

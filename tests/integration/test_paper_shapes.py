@@ -5,12 +5,16 @@ Each test is a miniature of one experiment and asserts the paper's
 experiments live in ``benchmarks/``.
 """
 
+from dataclasses import asdict, replace
+
 import numpy as np
 import pytest
 
 from repro.analysis.calibration import scaled_mpc, scaled_skylake
-from repro.analysis.sweep import run_sweep
+from repro.analysis.sweep import run_spec_sweep
 from repro.apps.lulesh import LuleshConfig, build_for_program, build_task_program
+from repro.campaign.runner import run_experiment_cluster
+from repro.campaign.spec import ExperimentSpec
 from repro.cluster import Cluster, RankGrid
 from repro.profiler import comm_metrics, gantt_of
 from repro.runtime import TaskRuntime
@@ -33,7 +37,12 @@ def mpc(opts="abc", **kw):
 
 @pytest.fixture(scope="module")
 def sweep_abc():
-    return run_sweep([2, 4, 8, 16, 32, 64, 128], lulesh_prog, lambda t: mpc("abc"))
+    base = ExperimentSpec(
+        app="lulesh",
+        config=mpc("abc"),
+        params={"s": S, "iterations": ITERS, "tpl": 2, "flops_per_item": FPI},
+    )
+    return run_spec_sweep(base, [2, 4, 8, 16, 32, 64, 128])
 
 
 class TestFig1DiscoveryBound:
@@ -133,16 +142,22 @@ class TestFig6TaskVsParallelFor:
 class TestFig7Fig8Distributed:
     @pytest.fixture(scope="class")
     def cluster_runs(self):
-        from repro.analysis.distributed import run_lulesh_cluster
-        from repro.analysis.calibration import scaled_network
+        from repro.analysis.calibration import scaled_epyc, scaled_network
 
         grid = RankGrid.cubic(8)
         cfg = LuleshConfig(s=16, iterations=4, tpl=16, flops_per_item=FPI)
         out = {}
         for label, opts in (("opt", "abcp"), ("noopt", "")):
-            out[label] = run_lulesh_cluster(
-                grid, cfg, opts=opts, n_threads=4, network=scaled_network()
+            rc = scaled_mpc(scaled_epyc(), opts=opts, n_threads=4)
+            spec = ExperimentSpec(
+                app="lulesh",
+                config=replace(rc, trace=True),
+                params=asdict(cfg),
+                ranks=grid.n_ranks,
+                seed=rc.seed,
+                network=scaled_network(),
             )
+            out[label] = run_experiment_cluster(spec, grid=grid)
         return out
 
     def test_all_ranks_complete(self, cluster_runs):
@@ -167,13 +182,20 @@ class TestHpcgShape:
         """§4.3: little work is available concurrent with the dots'
         allreduces — overlap ratio stays low."""
         from repro.analysis.calibration import scaled_network
-        from repro.analysis.distributed import run_hpcg_cluster
         from repro.apps.hpcg import HpcgConfig
 
+        grid = RankGrid(2, 1, 1)
         cfg = HpcgConfig(n_rows=4096, iterations=4, tpl=16, spmv_sub=4)
-        res = run_hpcg_cluster(
-            RankGrid(2, 1, 1), cfg, opts="abc", n_threads=4, network=scaled_network()
+        rc = scaled_mpc(opts="abc", n_threads=4)
+        spec = ExperimentSpec(
+            app="hpcg",
+            config=replace(rc, trace=True),
+            params=asdict(cfg),
+            ranks=grid.n_ranks,
+            seed=rc.seed,
+            network=scaled_network(),
         )
+        res = run_experiment_cluster(spec, grid=grid)
         pr = [r for r in res.results if r.extra.get("profiled")][0]
         m = comm_metrics(pr.comm, pr.trace, pr.n_threads)
         assert m.overlap_ratio < 0.5

@@ -1,0 +1,343 @@
+"""Unit tests for the fidelity ladder (repro.sim.tiers).
+
+Covers the Simulator protocol, the analytic bounds structure, replay
+scheduling policies, the unified RunResult shape, and the rejection
+paths (bodies, accelerators, missing program, costless persistent
+artifacts).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accel import AcceleratorSpec
+from repro.core import OptimizationSet
+from repro.core.compiled import compile_program
+from repro.core.program import IterationSpec, Program, TaskSpec
+from repro.core.task import DepMode
+from repro.memory import tiny_test_machine
+from repro.runtime import RuntimeConfig, TaskRuntime
+from repro.sim.tiers import (
+    DEFAULT_FIDELITY,
+    FIDELITIES,
+    AnalyticSimulator,
+    DesSimulator,
+    ReplaySimulator,
+    Simulator,
+    get_simulator,
+    simulate,
+    tier_weights,
+)
+
+FLOPS = 4000.0
+
+
+def diamond_program() -> Program:
+    """t0 -> (t1, t2) -> t3, classic fork-join diamond."""
+    specs = [
+        TaskSpec(name="t0", depends=((0, DepMode.OUT),), flops=FLOPS),
+        TaskSpec(
+            name="t1",
+            depends=((0, DepMode.IN), (1, DepMode.OUT)),
+            flops=FLOPS,
+        ),
+        TaskSpec(
+            name="t2",
+            depends=((0, DepMode.IN), (2, DepMode.OUT)),
+            flops=FLOPS,
+        ),
+        TaskSpec(
+            name="t3",
+            depends=((1, DepMode.IN), (2, DepMode.IN)),
+            flops=FLOPS,
+        ),
+    ]
+    return Program([IterationSpec(index=0, tasks=specs)])
+
+
+def chain_program(n: int = 16) -> Program:
+    specs = [
+        TaskSpec(name=f"c{i}", depends=((0, DepMode.INOUT),), flops=FLOPS)
+        for i in range(n)
+    ]
+    return Program([IterationSpec(index=0, tasks=specs)])
+
+
+def wide_program(n: int = 32) -> Program:
+    specs = [
+        TaskSpec(name=f"w{i}", depends=((i, DepMode.OUT),), flops=FLOPS)
+        for i in range(n)
+    ]
+    return Program([IterationSpec(index=0, tasks=specs)])
+
+
+def persistent_program(iters: int = 3) -> Program:
+    specs = [
+        TaskSpec(name=f"p{i}", depends=((i % 3, DepMode.INOUT),), flops=FLOPS)
+        for i in range(9)
+    ]
+    return Program.from_template(specs, iters)
+
+
+def config(threads: int = 4, **kw) -> RuntimeConfig:
+    kw.setdefault("opts", OptimizationSet.parse("abc"))
+    return RuntimeConfig(
+        machine=tiny_test_machine(max(threads, 4)), n_threads=threads, **kw
+    )
+
+
+def compiled_for(program: Program, cfg: RuntimeConfig):
+    return compile_program(program, cfg.opts, costs=cfg.discovery)
+
+
+class TestRegistry:
+    def test_fidelities_ladder(self):
+        assert FIDELITIES == ("analytic", "replay", "des")
+        assert DEFAULT_FIDELITY == "des"
+
+    def test_get_simulator_each_tier(self):
+        for f in FIDELITIES:
+            sim = get_simulator(f)
+            assert sim.fidelity == f
+            assert isinstance(sim, Simulator)
+
+    def test_unknown_fidelity_rejected(self):
+        with pytest.raises(ValueError, match="unknown fidelity 'exact'"):
+            get_simulator("exact")
+        with pytest.raises(ValueError, match="expected one of"):
+            simulate(None, None, fidelity="")
+
+    def test_protocol_runtime_checkable(self):
+        assert isinstance(AnalyticSimulator(), Simulator)
+        assert isinstance(ReplaySimulator(), Simulator)
+        assert isinstance(DesSimulator(), Simulator)
+
+
+class TestUnifiedResult:
+    """Every tier emits the same RunResult shape, absences explicit."""
+
+    @pytest.mark.parametrize("fidelity", FIDELITIES)
+    def test_extra_contract(self, fidelity):
+        prog = diamond_program()
+        cfg = config()
+        art = compiled_for(prog, cfg)
+        res = simulate(art, cfg, fidelity=fidelity, program=prog)
+        assert res.extra["fidelity"] == fidelity
+        assert "bounds" in res.extra
+        if fidelity == "analytic":
+            assert isinstance(res.extra["bounds"], dict)
+        else:
+            assert res.extra["bounds"] is None
+        assert res.n_threads == 4
+        assert res.n_tasks == 4
+        assert res.makespan > 0
+        assert 0.0 < res.utilization <= 1.0
+
+    @pytest.mark.parametrize("fidelity", ["analytic", "replay"])
+    def test_cheap_tiers_reference_artifact(self, fidelity):
+        prog = diamond_program()
+        cfg = config()
+        art = compiled_for(prog, cfg)
+        res = simulate(art, cfg, fidelity=fidelity)
+        meta = res.extra["compiled_tdg"]
+        assert meta["key"] == art.key
+        assert meta["n_tasks"] == art.n_tasks
+
+    def test_work_split_sums_to_total(self):
+        prog = wide_program()
+        cfg = config()
+        art = compiled_for(prog, cfg)
+        res = simulate(art, cfg, fidelity="replay")
+        assert len(res.work) == cfg.threads
+        assert res.work.sum() == pytest.approx(res.work[0] * cfg.threads)
+
+
+class TestAnalytic:
+    BOUND_KEYS = {
+        "t1", "t_inf", "tn_lower", "tn_upper", "discovery_total",
+        "discovery_lower", "makespan_lower", "makespan_upper", "depth",
+        "avg_parallelism", "rounds",
+    }
+
+    def test_bounds_structure(self):
+        prog = diamond_program()
+        cfg = config()
+        b = simulate(compiled_for(prog, cfg), cfg, fidelity="analytic").extra[
+            "bounds"
+        ]
+        assert set(b) == self.BOUND_KEYS
+        assert b["t1"] >= b["t_inf"] > 0
+        assert b["tn_lower"] <= b["tn_upper"]
+        assert b["makespan_lower"] <= b["makespan_upper"]
+        assert b["avg_parallelism"] >= 1.0
+        assert b["rounds"] == 1
+
+    def test_shape_metrics(self):
+        cfg = config()
+        chain = simulate(
+            compiled_for(chain_program(16), cfg), cfg, fidelity="analytic"
+        ).extra["bounds"]
+        wide = simulate(
+            compiled_for(wide_program(16), cfg), cfg, fidelity="analytic"
+        ).extra["bounds"]
+        assert chain["depth"] == 16
+        assert wide["depth"] == 1
+        # A chain has no parallelism; 16 independent tasks have plenty.
+        assert chain["avg_parallelism"] == pytest.approx(1.0)
+        assert wide["avg_parallelism"] > 4.0
+        # T_inf of the chain equals its T1 (every task is on the path).
+        assert chain["t_inf"] == pytest.approx(chain["t1"])
+
+    def test_persistent_rounds(self):
+        prog = persistent_program(3)
+        cfg = config(opts=OptimizationSet.parse("abcp"))
+        b = simulate(compiled_for(prog, cfg), cfg, fidelity="analytic").extra[
+            "bounds"
+        ]
+        assert b["rounds"] == 3
+
+    def test_more_threads_tighten_nothing_upward(self):
+        prog = wide_program(32)
+        cfg1, cfg8 = config(1), config(8)
+        b1 = simulate(compiled_for(prog, cfg1), cfg1, fidelity="analytic")
+        b8 = simulate(compiled_for(prog, cfg8), cfg8, fidelity="analytic")
+        assert b8.extra["bounds"]["tn_lower"] <= b1.extra["bounds"]["tn_lower"]
+
+
+class TestReplay:
+    def test_completes_all_tasks(self):
+        prog = persistent_program(3)
+        cfg = config(opts=OptimizationSet.parse("abcp"))
+        res = simulate(compiled_for(prog, cfg), cfg, fidelity="replay")
+        assert res.n_tasks == 9 * 3
+
+    def test_fifo_and_lifo_both_run(self):
+        prog = diamond_program()
+        for sched in ("lifo-df", "fifo-bf"):
+            cfg = config(scheduler=sched)
+            res = simulate(compiled_for(prog, cfg), cfg, fidelity="replay")
+            assert res.n_tasks == 4
+            assert res.makespan > 0
+
+    def test_more_workers_no_slower(self):
+        prog = wide_program(32)
+        cfg = config(1)
+        art = compiled_for(prog, cfg)
+        m1 = ReplaySimulator(workers_override=1).simulate(art, cfg).makespan
+        m8 = ReplaySimulator(workers_override=8).simulate(art, cfg).makespan
+        assert m8 <= m1 + 1e-12
+
+    def test_workers_override_reported(self):
+        prog = diamond_program()
+        cfg = config()
+        res = ReplaySimulator(workers_override=64).simulate(
+            compiled_for(prog, cfg), cfg
+        )
+        assert res.extra["replay_workers"] == 64
+
+    def test_non_overlapped_serializes_discovery(self):
+        prog = wide_program(16)
+        cfg = config(non_overlapped=True)
+        res = simulate(compiled_for(prog, cfg), cfg, fidelity="replay")
+        d0, d1 = res.discovery_span
+        e0, _ = res.execution_span
+        assert d1 <= e0 + 1e-12
+        assert res.discovery_busy == pytest.approx(d1 - d0)
+
+
+class TestOrdering:
+    """The ladder's defining invariant on a fixed graph."""
+
+    @pytest.mark.parametrize(
+        "make", [diamond_program, chain_program, wide_program]
+    )
+    def test_analytic_brackets_replay_and_des(self, make):
+        prog = make()
+        cfg = config()
+        art = compiled_for(prog, cfg)
+        bounds = simulate(art, cfg, fidelity="analytic").extra["bounds"]
+        replay = simulate(art, cfg, fidelity="replay").makespan
+        des = simulate(art, cfg, fidelity="des", program=prog).makespan
+        lo, hi = bounds["makespan_lower"], bounds["makespan_upper"]
+        assert lo <= replay * (1 + 1e-9) and replay <= hi * (1 + 1e-9)
+        assert lo <= des * (1 + 1e-9) and des <= hi * (1 + 1e-9)
+
+    def test_infinite_workers_at_least_span(self):
+        prog = diamond_program()
+        cfg = config()
+        art = compiled_for(prog, cfg)
+        t_inf = simulate(art, cfg, fidelity="analytic").extra["bounds"]["t_inf"]
+        ideal = ReplaySimulator(workers_override=4096).simulate(art, cfg)
+        assert ideal.makespan >= t_inf - 1e-12
+
+
+class TestRejections:
+    def test_execute_bodies_rejected(self):
+        prog = diamond_program()
+        cfg = config(execute_bodies=True)
+        art = compile_program(prog, cfg.opts, costs=cfg.discovery)
+        for f in ("analytic", "replay"):
+            with pytest.raises(ValueError, match="cannot execute task bodies"):
+                simulate(art, cfg, fidelity=f)
+
+    def test_accelerator_rejected(self):
+        prog = diamond_program()
+        cfg = config(accelerator=AcceleratorSpec())
+        art = compile_program(prog, cfg.opts, costs=cfg.discovery)
+        for f in ("analytic", "replay"):
+            with pytest.raises(ValueError, match="does not model accelerators"):
+                simulate(art, cfg, fidelity=f)
+
+    def test_des_requires_program(self):
+        prog = diamond_program()
+        cfg = config()
+        art = compiled_for(prog, cfg)
+        with pytest.raises(ValueError, match="pass program="):
+            simulate(art, cfg, fidelity="des")
+
+    def test_persistent_artifact_needs_costs(self):
+        prog = persistent_program(3)
+        cfg = config(opts=OptimizationSet.parse("abcp"))
+        art = compile_program(prog, cfg.opts)  # no costs stamped
+        with pytest.raises(ValueError, match="no iteration_costs"):
+            simulate(art, cfg, fidelity="replay")
+
+
+class TestTierWeights:
+    def test_stub_rows_are_zero(self):
+        # inoutset groups close through stub tasks.
+        specs = [
+            TaskSpec(
+                name=f"g{i}", depends=((0, DepMode.INOUTSET),), flops=FLOPS
+            )
+            for i in range(4)
+        ] + [TaskSpec(name="read", depends=((0, DepMode.IN),), flops=FLOPS)]
+        prog = Program([IterationSpec(index=0, tasks=specs)])
+        cfg = config()
+        art = compiled_for(prog, cfg)
+        tw = tier_weights(art, cfg)
+        assert art.n_stubs > 0
+        for tid in art.stub_tids:
+            assert tw.body[tid] == 0.0
+            assert tw.creation[tid] == 0.0
+            assert tw.replay[tid] == 0.0
+
+    def test_body_bracket(self):
+        prog = diamond_program()
+        cfg = config()
+        art = compiled_for(prog, cfg)
+        tw = tier_weights(art, cfg)
+        w = cfg.threads
+        assert (tw.body_lo <= tw.body + tw.mem_shared * w + 1e-15).all()
+        assert (tw.body + tw.mem_shared * w <= tw.body_hi + 1e-15).all()
+        assert (tw.creation_lo <= tw.creation + 1e-15).all()
+
+    def test_des_agrees_with_tier_makespan_on_trivial_chain(self):
+        # On a 1-thread chain with abc opts both models are exact: same
+        # creation costs, same bodies, fully serial.
+        prog = chain_program(8)
+        cfg = config(1)
+        art = compiled_for(prog, cfg)
+        replay = simulate(art, cfg, fidelity="replay").makespan
+        des = TaskRuntime(prog, cfg).run().makespan
+        assert replay == pytest.approx(des, rel=0.02)

@@ -96,8 +96,10 @@ class TestCampaignCommand:
 
         assert main(["campaign", "--example"]) == 0
         specs = load_specs(capsys.readouterr().out)
-        assert len(specs) == 4
+        assert len(specs) == 9
         assert all(s.app == "lulesh" for s in specs)
+        # The example exercises the whole fidelity ladder.
+        assert {s.fidelity for s in specs} == {"des", "replay", "analytic"}
 
     def test_specfile_required(self, capsys):
         assert main(["campaign"]) == 2
