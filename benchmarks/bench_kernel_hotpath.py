@@ -31,6 +31,7 @@ import argparse
 import json
 import platform
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -96,18 +97,22 @@ def _hook_check_cost(loops: int = 200_000) -> float:
 def run_obs_case(name, s, iterations, tpl, make_config, repeats=1):
     """Quiet bus vs attached recorder on one configuration.
 
-    Returns a record with both wall times, the recorder overhead ratio
-    (informational — observers are expected to cost something), and the
+    Returns a record with the wall times, the recorder overhead ratio
+    (informational — observers are expected to cost something), the
+    streaming-store overhead ratio (recorder draining into a SQLite
+    campaign store mid-run, including the final flush), and the
     estimated fraction of the *quiet* wall time spent on the new
     discovery-counter hook checks (``task_create``/``task_replay`` fire
     once per task created or replayed, so the check count ≈ ``n_tasks``).
     """
+    from repro.db import CampaignDB, TraceDbWriter
+
     prog = build_task_program(
         LuleshConfig(s=s, iterations=iterations, tpl=tpl, flops_per_item=25.0),
         opt_a=False,
     )
-    quiet = attached = None
-    n_tasks = n_spans = 0
+    quiet = attached = streamed = None
+    n_tasks = n_spans = n_db_rows = 0
     for _ in range(repeats):
         rt = TaskRuntime(prog, make_config())
         t0 = time.perf_counter()
@@ -126,6 +131,23 @@ def run_obs_case(name, s, iterations, tpl, make_config, repeats=1):
         n_spans = recorder.n_spans
         attached = wall if attached is None else min(attached, wall)
 
+        # Recorder + streaming SQLite sink: spans drain in batches
+        # mid-run; the measured wall includes the final flush.
+        with tempfile.TemporaryDirectory() as td:
+            db = CampaignDB(Path(td) / "bench.sqlite")
+            sink = TraceDbWriter(db, "bench")
+            bus = InstrumentationBus()
+            recorder = TraceRecorder(sink=sink)
+            bus.attach(recorder)
+            rt = TaskRuntime(prog, make_config(), bus=bus)
+            t0 = time.perf_counter()
+            rt.run()
+            sink.close(recorder)
+            wall = time.perf_counter() - t0
+            n_db_rows = sink._spans.rows_written
+            db.close()
+        streamed = wall if streamed is None else min(streamed, wall)
+
     check_cost = _hook_check_cost()
     hook_overhead = check_cost * n_tasks / quiet if quiet > 0 else 0.0
     return {
@@ -135,9 +157,12 @@ def run_obs_case(name, s, iterations, tpl, make_config, repeats=1):
         "tpl": tpl,
         "n_tasks": n_tasks,
         "n_spans_recorded": n_spans,
+        "n_db_spans_written": n_db_rows,
         "quiet_wall_s": quiet,
         "recorder_wall_s": attached,
+        "db_wall_s": streamed,
         "recorder_overhead_ratio": attached / quiet if quiet > 0 else 0.0,
+        "db_overhead_ratio": streamed / quiet if quiet > 0 else 0.0,
         "hook_check_cost_s": check_cost,
         "quiet_hook_overhead_frac": hook_overhead,
     }
@@ -161,6 +186,10 @@ def main(argv=None) -> int:
     ap.add_argument("--max-hook-overhead", type=float, default=0.05,
                     help="gate: quiet-bus hook-check tax as a fraction of "
                          "quiet wall time (default 0.05)")
+    ap.add_argument("--max-db-overhead", type=float, default=1.15,
+                    help="gate: recorder-with-SQLite-sink wall over quiet "
+                         "wall (default 1.15; plain recorder baselines "
+                         "around 1.08)")
     args = ap.parse_args(argv)
 
     machine = scaled_skylake()
@@ -227,6 +256,8 @@ def main(argv=None) -> int:
           f"recorder {obs['recorder_wall_s']:.3f}s  "
           f"({obs['recorder_overhead_ratio']:.2f}x, "
           f"{obs['n_spans_recorded']:,} spans)  "
+          f"db sink {obs['db_wall_s']:.3f}s "
+          f"({obs['db_overhead_ratio']:.2f}x)  "
           f"hook-check tax {obs['quiet_hook_overhead_frac']:.2%}")
 
     if args.check:
@@ -261,6 +292,17 @@ def main(argv=None) -> int:
             return 1
         print(f"OK: {obs['case']} quiet-bus hook-check tax {frac:.2%} "
               f"<= {args.max_hook_overhead:.0%}")
+        # Fourth gate: streaming the recording into a SQLite store must
+        # stay close to the plain in-RAM recorder — the batched
+        # executemany drains amortize to a list append per span.
+        ratio = obs["db_overhead_ratio"]
+        if ratio > args.max_db_overhead:
+            print(f"FAIL: {obs['case']} streaming-store overhead "
+                  f"{ratio:.2f}x > {args.max_db_overhead:.2f}x",
+                  file=sys.stderr)
+            return 1
+        print(f"OK: {obs['case']} streaming-store overhead {ratio:.2f}x "
+              f"<= {args.max_db_overhead:.2f}x")
     return 0
 
 

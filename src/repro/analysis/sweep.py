@@ -108,6 +108,59 @@ class Sweep:
                 return p.tpl
         return None
 
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_db(
+        cls,
+        db,
+        *,
+        param: str = "tpl",
+        campaign: Optional[str] = None,
+        app: Optional[str] = None,
+        config_name: Optional[str] = None,
+        fidelity: Optional[str] = None,
+    ) -> "Sweep":
+        """Reconstruct a sweep from stored campaign runs.
+
+        ``db`` is a :class:`repro.db.CampaignDB` (or anything with its
+        ``query``); SQL selects exactly the matching runs — instead of
+        re-running the sweep or re-reading a whole JSON cache — and each
+        row's stored RunResult document becomes one point.  Points are
+        ordered by the swept parameter; filters narrow multi-app or
+        multi-config stores down to one series.
+        """
+        import json as _json
+
+        where = ["1=1"]
+        args: list = []
+        for column, value in (
+            ("r.campaign", campaign),
+            ("s.app", app),
+            ("s.config_name", config_name),
+            ("r.fidelity", fidelity),
+        ):
+            if value is not None:
+                where.append(f"{column} = ?")
+                args.append(value)
+        _, rows = db.query(
+            "SELECT s.params, r.doc FROM runs r JOIN specs s ON s.key = r.key "
+            f"WHERE {' AND '.join(where)} ORDER BY r.key",
+            args,
+        )
+        points = []
+        for params_json, doc in rows:
+            params = _json.loads(params_json)
+            if param not in params:
+                continue
+            points.append(
+                SweepPoint(
+                    tpl=int(params[param]),
+                    result=RunResult.from_dict(_json.loads(doc)),
+                )
+            )
+        points.sort(key=lambda p: p.tpl)
+        return cls(points)
+
 
 def sweep_specs(
     base: "ExperimentSpec", tpls: Sequence[int], *, param: str = "tpl"

@@ -34,6 +34,12 @@ class ResultCache:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
 
+    @property
+    def locator(self) -> str:
+        """String that reopens this cache (:func:`repro.db.open_store`):
+        how campaign worker processes are told where results go."""
+        return str(self.root)
+
     # ------------------------------------------------------------------
     def path_for(self, key: str) -> Path:
         """Entry path for a spec key (two-level fan-out, git-object style)."""

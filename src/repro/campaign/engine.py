@@ -36,7 +36,12 @@ from repro.campaign.cache import ResultCache
 from repro.campaign.runner import run_experiment
 from repro.campaign.spec import ExperimentSpec
 from repro.core.compiled import CompiledGraphCache
+from repro.db.store import DbResultStore, open_store
 from repro.runtime.result import RunResult
+
+#: Anything the engine can persist results into: the JSON-file cache,
+#: the SQLite store, or a locator path that :func:`open_store` resolves.
+Store = Union[ResultCache, DbResultStore, str, Path]
 
 _POLL_S = 0.02
 
@@ -130,16 +135,18 @@ class CampaignResult:
 # ======================================================================
 # worker side
 # ======================================================================
-def _worker_entry(spec_json: str, cache_root: str) -> None:
-    """Executed in a worker process: run one spec, write it to the cache.
+def _worker_entry(spec_json: str, locator: str, campaign: str = "") -> None:
+    """Executed in a worker process: run one spec, write it to the store.
 
-    The cache write is the only channel back to the parent — atomic, and
-    exactly what a resumed campaign would read — so worker death between
-    run and write just means the run retries.
+    The store write is the only channel back to the parent — atomic
+    (file replace or SQL transaction), and exactly what a resumed
+    campaign would read — so worker death between run and write just
+    means the run retries.  ``locator`` names the parent's store
+    (:func:`repro.db.open_store` resolves it).
     """
     spec = ExperimentSpec.from_json(spec_json)
-    cache = ResultCache(cache_root)
-    compiled_cache = CompiledGraphCache.for_campaign(cache_root)
+    cache = open_store(locator, campaign=campaign)
+    compiled_cache = CompiledGraphCache.for_campaign(cache.root)
     try:
         result = run_experiment(spec, compiled_cache=compiled_cache)
         cache.put(spec, result)
@@ -172,7 +179,9 @@ def run_campaign(
     specs: Sequence[ExperimentSpec],
     *,
     jobs: int = 1,
-    cache: Union[ResultCache, str, Path, None] = None,
+    cache: Optional[Store] = None,
+    store: Optional[Store] = None,
+    campaign: str = "",
     reuse_cache: bool = True,
     timeout: Optional[float] = None,
     retries: int = 1,
@@ -192,9 +201,19 @@ def run_campaign(
         serially in-process (no subprocess overhead); otherwise each run
         executes in its own worker process.
     cache:
-        A :class:`ResultCache`, a directory path, or None — parallel and
-        timeout modes need a cache as the result channel, so None then
-        means a temporary directory (discarded afterwards).
+        A :class:`ResultCache`, a :class:`~repro.db.DbResultStore`, a
+        locator path (directory → JSON cache, ``.sqlite`` file → SQLite
+        store), or None — parallel and timeout modes need a store as the
+        result channel, so None then means a temporary directory
+        (discarded afterwards).
+    store:
+        Alias for ``cache`` (the SQLite-store spelling); passing both is
+        an error.  Same types accepted — the engine drives either
+        backend through the identical content-addressed interface.
+    campaign:
+        Campaign id tagged onto every run row a
+        :class:`~repro.db.DbResultStore` writes (reports compare ids);
+        ignored by the JSON cache.
     reuse_cache:
         When False, existing entries are ignored (every run re-executes
         and overwrites; ``--no-resume`` in the CLI).
@@ -216,8 +235,14 @@ def run_campaign(
     bus = bus if bus is not None else CampaignBus()
     if progress:
         bus.attach(ProgressPrinter(len(specs)))
+    if store is not None:
+        if cache is not None:
+            raise ValueError("pass either cache= or store=, not both")
+        cache = store
     if isinstance(cache, (str, Path)):
-        cache = ResultCache(cache)
+        cache = open_store(cache, campaign=campaign)
+    if campaign and isinstance(cache, DbResultStore):
+        cache.campaign = campaign
 
     t0 = time.monotonic()
     records = [RunRecord(spec=s) for s in specs]
@@ -312,7 +337,11 @@ def _run_workers(records, pending, jobs, cache, timeout, retries, bus) -> None:
         rec.attempts = attempt
         proc = ctx.Process(
             target=_worker_entry,
-            args=(rec.spec.to_json(), str(cache.root)),
+            args=(
+                rec.spec.to_json(),
+                cache.locator,
+                getattr(cache, "campaign", ""),
+            ),
             daemon=True,
         )
         proc.start()

@@ -7,7 +7,11 @@ Gives shell access to the main experiment flows:
 - ``sweep`` — a LULESH TPL sweep with the Fig-1-style curves
   (``--jobs N`` fans the points out over worker processes);
 - ``campaign`` — execute a JSON spec file of experiment runs through the
-  cached, resumable campaign engine;
+  cached, resumable campaign engine (``--db`` persists into a SQLite
+  campaign store instead of the JSON cache directory);
+- ``query`` — canned SQL reports (and ``--sql`` passthrough) over a
+  campaign store: stored runs, critical tasks, slack by loop, discovery
+  regressions between two campaign ids;
 - ``profile`` — run one workload with the :mod:`repro.obs` recorder
   attached: text report, counters JSON, Perfetto trace, NDJSON log, and
   ``--diff`` between two counters snapshots;
@@ -239,6 +243,9 @@ def cmd_campaign(args) -> int:
     if args.specfile is None:
         print("error: SPECFILE required (or use --example)", file=sys.stderr)
         return 2
+    if args.db and args.cache_dir:
+        print("error: pass --db or --cache-dir, not both", file=sys.stderr)
+        return 2
     text = (
         sys.stdin.read() if args.specfile == "-" else Path(args.specfile).read_text()
     )
@@ -247,6 +254,8 @@ def cmd_campaign(args) -> int:
         specs,
         jobs=args.jobs,
         cache=args.cache_dir,
+        store=args.db,
+        campaign=args.campaign_id,
         reuse_cache=args.resume,
         timeout=args.timeout,
         retries=args.retries,
@@ -444,6 +453,12 @@ def cmd_profile(args) -> int:
     if args.ndjson:
         write_ndjson(args.ndjson, report.recorder)
         written.append(args.ndjson)
+    if args.db:
+        from repro.db import CampaignDB, store_profile
+
+        with CampaignDB(args.db) as db:
+            run = store_profile(db, report, campaign=args.campaign_id)
+        written.append(f"{args.db} (run {run[:12]})")
 
     if args.json:
         doc = {
@@ -463,7 +478,63 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_query(args) -> int:
+    import sqlite3
+
+    from repro.db import REPORTS, CampaignDB, SchemaError
+
+    with CampaignDB(args.db) as db:
+        try:
+            if args.sql:
+                columns, rows = db.query(args.sql)
+            else:
+                report = REPORTS[args.report]
+                kwargs = {}
+                if report.takes == "run":
+                    if args.run:
+                        kwargs["run"] = args.run
+                    if args.report == "top-critical-tasks":
+                        kwargs["limit"] = args.limit
+                elif report.takes == "pair":
+                    if not (args.a and args.b):
+                        print(
+                            f"error: {args.report} compares two campaign "
+                            "ids; pass --a and --b",
+                            file=sys.stderr,
+                        )
+                        return 2
+                    kwargs = {"a": args.a, "b": args.b}
+                elif report.takes == "campaign" and args.campaign:
+                    kwargs["campaign"] = args.campaign
+                columns, rows = report.func(db, **kwargs)
+        except (SchemaError, ValueError, sqlite3.Error) as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
+
+    if args.json:
+        from repro.util.serde import canonical_json
+
+        print(canonical_json(
+            {"columns": columns, "rows": [list(r) for r in rows]}
+        ))
+    elif args.csv:
+        import csv
+
+        writer = csv.writer(sys.stdout, lineterminator="\n")
+        writer.writerow(columns)
+        writer.writerows(rows)
+    else:
+        cells = [
+            ["-" if v is None else str(v) for v in row] for row in rows
+        ]
+        print(render_table(columns, cells))
+        print(f"{len(rows)} row(s)")
+    return 0
+
+
 def cmd_info(args) -> int:
+    from repro.db import SCHEMA_VERSION as DB_SCHEMA_VERSION
+    from repro.db import table_inventory
     from repro.memory.machine import epyc_7763_numa, skylake_8168
     from repro.mpi.network import bxi_like
     from repro.runtime.costs import DiscoveryCosts, SchedulerCosts
@@ -489,6 +560,10 @@ def cmd_info(args) -> int:
             },
             "verify_passes": list(PASSES),
             "verify_rules": dict(RULES),
+            "db": {
+                "schema_version": DB_SCHEMA_VERSION,
+                "tables": table_inventory(),
+            },
         }
         print(canonical_json(doc))
         return 0
@@ -513,6 +588,12 @@ def cmd_info(args) -> int:
     print(f"\nverify passes ({', '.join(PASSES)}) — `repro lint` rules:")
     for rule, desc in RULES.items():
         print(f"  {rule:>14}: {desc}")
+
+    inventory = table_inventory()
+    print(f"\nresults store (repro.db): schema version {DB_SCHEMA_VERSION}, "
+          f"WAL SQLite, {len(inventory)} tables — query with `repro query`:")
+    for name, cols in inventory.items():
+        print(f"  {name:>9}: {', '.join(cols)}")
     print("\nanalysis: graphtools (TDG shape/width), sweep (TPL curves), "
           "calibration (scaled presets), distributed (cluster runs); "
           "obs: `repro profile` (trace/counters/critical path)")
@@ -581,6 +662,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1, help="worker processes")
     p.add_argument("--cache-dir", default=None,
                    help="content-addressed result cache directory")
+    p.add_argument("--db", default=None, metavar="STORE.sqlite",
+                   help="persist results into a SQLite campaign store "
+                        "instead of a cache directory (same keys, same "
+                        "resume semantics; query with `repro query`)")
+    p.add_argument("--campaign-id", default="", metavar="NAME",
+                   help="campaign id tagged onto store rows (lets "
+                        "`repro query discovery-regressions` compare two "
+                        "campaigns in one store)")
     p.add_argument("--resume", dest="resume", action="store_true", default=True,
                    help="skip runs already in the cache (default)")
     p.add_argument("--no-resume", dest="resume", action="store_false",
@@ -659,12 +748,50 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the discovery-counters JSON snapshot")
     p.add_argument("--ndjson", default=None, metavar="OUT.ndjson",
                    help="write the NDJSON event log")
+    p.add_argument("--db", default=None, metavar="STORE.sqlite",
+                   help="write the trace, counters and result into a "
+                        "campaign store (spans annotated with critical-"
+                        "path slack; query with `repro query`)")
+    p.add_argument("--campaign-id", default="", metavar="NAME",
+                   help="campaign id tagged onto the stored run")
     p.add_argument("--diff", nargs=2, default=None, metavar=("A", "B"),
                    help="compare two counters JSON snapshots and exit "
                         "(nonzero when they differ)")
     p.add_argument("--json", action="store_true",
                    help="print a deterministic JSON summary instead of text")
     p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser(
+        "query",
+        help="canned SQL reports over a campaign store "
+             "(see `repro campaign --db` / `repro profile --db`)",
+    )
+    from repro.db.queries import REPORTS as _REPORTS
+
+    p.add_argument("db", metavar="STORE.sqlite", help="campaign store file")
+    p.add_argument("report", nargs="?", default="runs",
+                   choices=sorted(_REPORTS),
+                   help="canned report (default: runs); "
+                        + "; ".join(f"{k}: {v.help}" for k, v in
+                                    sorted(_REPORTS.items())))
+    p.add_argument("--run", default=None, metavar="KEY",
+                   help="run key for per-run reports (default: the "
+                        "store's single traced run)")
+    p.add_argument("--a", default=None, metavar="CAMPAIGN",
+                   help="baseline campaign id (discovery-regressions)")
+    p.add_argument("--b", default=None, metavar="CAMPAIGN",
+                   help="comparison campaign id (discovery-regressions)")
+    p.add_argument("--campaign", default=None, metavar="NAME",
+                   help="filter the runs report to one campaign id")
+    p.add_argument("--limit", type=int, default=20,
+                   help="row cap for top-critical-tasks (default 20)")
+    p.add_argument("--sql", default=None, metavar="SELECT...",
+                   help="run an arbitrary statement on the read-only "
+                        "connection instead of a canned report")
+    p.add_argument("--json", action="store_true",
+                   help="emit {columns, rows} as canonical JSON")
+    p.add_argument("--csv", action="store_true", help="emit CSV")
+    p.set_defaults(fn=cmd_query)
 
     p = sub.add_parser(
         "info", help="print presets, cost model and the bus hook catalogue"

@@ -1,0 +1,61 @@
+"""``repro.db``: the campaign-scoped SQLite results/trace store.
+
+One WAL-journaled SQLite file per campaign holds specs, run results,
+streamed trace columns, discovery counters and verify findings — the
+pyotter architecture (buffered batched writers in, read-only SQL out)
+adapted to this simulator's content-addressed campaign engine.  See
+:mod:`repro.db.schema` for the layout and its versioning policy.
+"""
+
+from repro.db.queries import (
+    REPORTS,
+    discovery_regressions,
+    list_runs,
+    slack_by_loop,
+    top_critical_tasks,
+)
+from repro.db.schema import (
+    SCHEMA_VERSION,
+    SchemaError,
+    table_inventory,
+)
+from repro.db.store import (
+    STORE_FILENAME,
+    CampaignDB,
+    DbResultStore,
+    TraceDbWriter,
+    annotate_critical_path,
+    add_findings,
+    delete_trace,
+    open_store,
+    read_trace,
+    run_id,
+    store_profile,
+    write_trace,
+)
+from repro.db.writer import DEFAULT_BATCH, BufferedWriter
+
+__all__ = [
+    "BufferedWriter",
+    "CampaignDB",
+    "DEFAULT_BATCH",
+    "DbResultStore",
+    "REPORTS",
+    "SCHEMA_VERSION",
+    "STORE_FILENAME",
+    "SchemaError",
+    "TraceDbWriter",
+    "add_findings",
+    "annotate_critical_path",
+    "delete_trace",
+    "discovery_regressions",
+    "list_runs",
+    "open_store",
+    "read_trace",
+    "run_id",
+    "slack_by_loop",
+    "store_profile",
+    "table_inventory",
+    "top_critical_tasks",
+    "write_trace",
+]

@@ -1,0 +1,169 @@
+"""Canned SQL reports over a campaign store (``repro query``).
+
+Each report is a plain function ``(db, ...) -> (columns, rows)`` running
+one deterministic SQL statement on the read-only connection — the
+pyotter "scripts directory" idiom with the scripts as Python constants.
+:data:`REPORTS` is the registry the CLI dispatches on; adding a report
+is one entry plus one function.
+
+Determinism: every statement carries a total ``ORDER BY`` (ties broken
+by name/key), so report output is byte-stable for identical stores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.db.store import CampaignDB, run_id
+
+Rows = tuple[list[str], list[tuple]]
+
+
+def _default_run(db: CampaignDB, *, annotated: bool) -> str:
+    """The run key to report on when the caller named none.
+
+    Unambiguous only when the store holds exactly one traced run (the
+    common ``repro profile --db`` case); otherwise the caller must pass
+    ``--run`` and the error lists the candidates.
+    """
+    where = "WHERE on_path IS NOT NULL" if annotated else ""
+    runs = [
+        r[0]
+        for r in db.read.execute(
+            "SELECT key FROM trace_runs WHERE id IN "
+            f"(SELECT DISTINCT run FROM spans {where}) ORDER BY key"
+        )
+    ]
+    if len(runs) == 1:
+        return runs[0]
+    if not runs:
+        kind = "critical-path-annotated" if annotated else "traced"
+        raise ValueError(
+            f"store has no {kind} runs; record one with repro profile --db"
+        )
+    shown = ", ".join(r[:16] for r in runs[:8])
+    raise ValueError(
+        f"store has {len(runs)} traced runs; pick one with --run "
+        f"(candidates: {shown}{', ...' if len(runs) > 8 else ''})"
+    )
+
+
+# ======================================================================
+# reports
+# ======================================================================
+def top_critical_tasks(
+    db: CampaignDB, *, run: Optional[str] = None, limit: int = 20
+) -> Rows:
+    """Task names ranked by seconds spent on the measured critical path.
+
+    Matches ``CriticalPathResult.by_name`` exactly: only spans with
+    positive measured duration count, ranked by seconds descending with
+    name as the tiebreak.
+    """
+    if run is None:
+        run = _default_run(db, annotated=True)
+    return db.query(
+        "SELECT name, COUNT(*) AS spans, SUM(t_end - t_start) AS seconds "
+        "FROM spans WHERE run = ? AND on_path = 1 AND t_end > t_start "
+        "GROUP BY name ORDER BY seconds DESC, name ASC LIMIT ?",
+        (run_id(run), limit),
+    )
+
+
+def slack_by_loop(db: CampaignDB, *, run: Optional[str] = None) -> Rows:
+    """Per-loop span mass and critical-path slack distribution.
+
+    High-slack loops are scheduling-tolerant; zero-slack loops bind the
+    makespan (where grain-size tuning pays).
+    """
+    if run is None:
+        run = _default_run(db, annotated=True)
+    return db.query(
+        "SELECT loop, COUNT(*) AS spans, SUM(t_end - t_start) AS seconds, "
+        "SUM(on_path) AS on_path_spans, MIN(slack) AS min_slack, "
+        "AVG(slack) AS avg_slack, MAX(slack) AS max_slack "
+        "FROM spans WHERE run = ? AND slack IS NOT NULL "
+        "GROUP BY loop ORDER BY loop",
+        (run_id(run),),
+    )
+
+
+def discovery_regressions(db: CampaignDB, *, a: str, b: str) -> Rows:
+    """Discovery-time deltas between two campaigns, matched spec-wise.
+
+    Runs pair up when everything but the runtime config matches (app,
+    params, engine, fidelity, ranks, seed) — the paper's comparison
+    unit: the same workload under two discovery configurations.  Sorted
+    by discovery regression, worst first.
+    """
+    return db.query(
+        "SELECT sa.app, sa.params, sa.config_name AS config_a, "
+        "sb.config_name AS config_b, "
+        "ra.discovery_busy AS discovery_a, rb.discovery_busy AS discovery_b, "
+        "rb.discovery_busy - ra.discovery_busy AS delta_discovery, "
+        "ra.makespan AS makespan_a, rb.makespan AS makespan_b, "
+        "rb.makespan - ra.makespan AS delta_makespan "
+        "FROM runs ra JOIN specs sa ON sa.key = ra.key "
+        "JOIN runs rb JOIN specs sb ON sb.key = rb.key "
+        "WHERE ra.campaign = ? AND rb.campaign = ? "
+        "AND sa.app = sb.app AND sa.params = sb.params "
+        "AND sa.engine = sb.engine AND sa.fidelity = sb.fidelity "
+        "AND sa.ranks = sb.ranks AND sa.seed = sb.seed "
+        "ORDER BY delta_discovery DESC, sa.app, sa.params, "
+        "config_a, config_b",
+        (a, b),
+    )
+
+
+def list_runs(db: CampaignDB, *, campaign: Optional[str] = None) -> Rows:
+    """Every stored run with its headline numbers."""
+    where, params = "", ()
+    if campaign is not None:
+        where, params = "WHERE r.campaign = ? ", (campaign,)
+    return db.query(
+        "SELECT r.campaign, s.app, s.config_name, r.fidelity, s.ranks, "
+        "r.makespan, r.discovery_busy, r.cache_hit, r.key "
+        "FROM runs r JOIN specs s ON s.key = r.key "
+        + where +
+        "ORDER BY r.campaign, s.app, s.config_name, r.key",
+        params,
+    )
+
+
+# ======================================================================
+# registry
+# ======================================================================
+@dataclass(frozen=True)
+class Report:
+    """One canned report: how the CLI invokes it, and its help line."""
+
+    func: Callable[..., Rows]
+    help: str
+    #: Argument sources: "run" reports take ``--run``/``--limit``,
+    #: "pair" reports take ``--a``/``--b``, "campaign" takes ``--campaign``.
+    takes: str
+
+
+REPORTS: dict[str, Report] = {
+    "runs": Report(
+        list_runs,
+        "every stored run with its headline numbers",
+        takes="campaign",
+    ),
+    "top-critical-tasks": Report(
+        top_critical_tasks,
+        "task names ranked by seconds on the measured critical path",
+        takes="run",
+    ),
+    "slack-by-loop": Report(
+        slack_by_loop,
+        "per-loop span mass and critical-path slack distribution",
+        takes="run",
+    ),
+    "discovery-regressions": Report(
+        discovery_regressions,
+        "discovery-time deltas between two campaign ids, matched spec-wise",
+        takes="pair",
+    ),
+}

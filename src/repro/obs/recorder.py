@@ -44,6 +44,7 @@ class TraceRecorder:
     """
 
     __slots__ = (
+        "sink",
         "names",
         "span_tid",
         "span_name",
@@ -61,7 +62,12 @@ class TraceRecorder:
         "ranks",
     )
 
-    def __init__(self) -> None:
+    def __init__(self, sink=None) -> None:
+        #: Optional streaming sink (:class:`repro.db.TraceDbWriter`): when
+        #: set, recorded spans drain to it in batches mid-run instead of
+        #: accumulating only in RAM; call ``sink.close(recorder)`` after
+        #: the run to flush the tail plus barriers/comms/counters.
+        self.sink = sink
         #: Interned task-name table (``names.keys[i]`` is name id ``i``).
         self.names = Interner()
         # -- task spans (parallel columns) ------------------------------
@@ -101,6 +107,9 @@ class TraceRecorder:
         self.span_worker.append(worker)
         self.span_start.append(t_start)
         self.span_end.append(t_end)
+        s = self.sink
+        if s is not None and len(self.span_tid) - s.mark >= s.batch:
+            s.drain(self)
 
     def on_task_create(self, table, tid, res, cost, time) -> None:
         self.counters.on_task_create(table, tid, res, cost, time)

@@ -1,0 +1,47 @@
+"""Stores are diffable artifacts: identical inputs, identical bytes."""
+
+from __future__ import annotations
+
+from repro.campaign.engine import run_campaign
+from repro.campaign.spec import ExperimentSpec
+from repro.db import CampaignDB, store_profile
+from repro.memory.machine import tiny_test_machine
+from repro.obs.profile import profile_spec
+from repro.runtime import presets
+
+CFG = presets.mpc_omp(tiny_test_machine(4), n_threads=4)
+
+SPECS = [
+    ExperimentSpec(app="lulesh", config=CFG,
+                   params={"s": 6, "iterations": 1, "tpl": t})
+    for t in (2, 4, 8)
+]
+
+
+def dump(path) -> str:
+    with CampaignDB(path) as db:
+        return db.dump()
+
+
+class TestDumpDeterminism:
+    def test_identical_campaigns_identical_dumps(self, tmp_path):
+        a, b = tmp_path / "a.sqlite", tmp_path / "b.sqlite"
+        run_campaign(SPECS, store=a, campaign="x")
+        run_campaign(SPECS, store=b, campaign="x")
+        assert dump(a) == dump(b)
+
+    def test_worker_interleaving_does_not_change_bytes(self, tmp_path):
+        # WITHOUT ROWID + explicit keys: rows dump in key order no matter
+        # which worker process inserted them first
+        a, b = tmp_path / "a.sqlite", tmp_path / "b.sqlite"
+        run_campaign(SPECS, store=a, campaign="x")
+        run_campaign(SPECS, jobs=3, store=b, campaign="x")
+        assert dump(a) == dump(b)
+
+    def test_profile_store_dumps_identically(self, tmp_path):
+        a, b = tmp_path / "a.sqlite", tmp_path / "b.sqlite"
+        for path in (a, b):
+            report = profile_spec(SPECS[0])
+            with CampaignDB(path) as db:
+                store_profile(db, report, campaign="x")
+        assert dump(a) == dump(b)

@@ -1,0 +1,70 @@
+"""Acceptance gate: the golden campaign through both store backends.
+
+The 19-spec golden set (``repro.campaign.crosscheck.golden_specs``) runs
+once into the JSON ``ResultCache`` and once into a ``DbResultStore``;
+both backends must hand back bit-identical RunResults on cache hits, and
+the SQL rows must mirror the result documents they were derived from.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.crosscheck import golden_specs
+from repro.campaign.engine import run_campaign
+from repro.db import CampaignDB, DbResultStore
+from repro.util.serde import canonical_json
+
+
+@pytest.fixture(scope="module")
+def golden(tmp_path_factory):
+    root = tmp_path_factory.mktemp("golden")
+    specs = golden_specs()
+    json_out = run_campaign(specs, cache=ResultCache(root / "json"))
+    db_out = run_campaign(specs, store=root / "store.sqlite", campaign="g")
+    assert json_out.ok and db_out.ok
+    return root, specs, json_out, db_out
+
+
+class TestGoldenStoreParity:
+    def test_executed_results_bitwise_equal(self, golden):
+        _, _, json_out, db_out = golden
+        a = [canonical_json(r.to_dict()) for r in json_out.results]
+        b = [canonical_json(r.to_dict()) for r in db_out.results]
+        assert a == b
+
+    def test_cache_hits_bitwise_equal_across_backends(self, golden):
+        root, specs, _, first = golden
+        cache = ResultCache(root / "json")
+        store = DbResultStore(root / "store.sqlite")
+        for spec in specs:
+            from_json = cache.get(spec)
+            from_db = store.get(spec)
+            assert from_json is not None and from_db is not None
+            assert (canonical_json(from_db.to_dict())
+                    == canonical_json(from_json.to_dict()))
+
+    def test_resume_is_all_hits_and_adds_no_rows(self, golden):
+        root, specs, _, _ = golden
+        path = root / "store.sqlite"
+        with CampaignDB(path) as db:
+            before = db.table_counts()
+        out = run_campaign(specs, store=path, campaign="g")
+        assert out.n_cached == len(specs) and out.n_executed == 0
+        with CampaignDB(path) as db:
+            assert db.table_counts() == before
+
+    def test_rows_mirror_result_docs(self, golden):
+        root, specs, _, db_out = golden
+        with CampaignDB(root / "store.sqlite") as db:
+            _, rows = db.query(
+                "SELECT key, makespan, discovery_busy, n_tasks FROM runs "
+                "ORDER BY key")
+        by_key = {rec.spec.key: rec.result for rec in db_out.records}
+        assert sorted(by_key) == [r[0] for r in rows]
+        for key, makespan, discovery, n_tasks in rows:
+            res = by_key[key]
+            assert makespan == res.makespan
+            assert discovery == res.discovery_busy
+            assert n_tasks == res.n_tasks

@@ -190,3 +190,105 @@ class TestOffloadFlag:
         out = capsys.readouterr().out
         assert "accelerator:" in out
         assert "stream" in out
+
+
+class TestQueryCommand:
+    def _build(self, tmp_path):
+        """A store holding one tiny two-spec campaign under id ``c1``."""
+        from repro.campaign.spec import ExperimentSpec, dump_specs
+        from repro.memory.machine import tiny_test_machine
+        from repro.runtime import presets
+
+        base = ExperimentSpec(
+            app="lulesh",
+            config=presets.mpc_omp(tiny_test_machine(4), n_threads=4),
+            params={"s": 8, "iterations": 1, "tpl": 4},
+        )
+        specfile = tmp_path / "specs.json"
+        specfile.write_text(dump_specs([base, base.with_params(tpl=8)]))
+        store = tmp_path / "store.sqlite"
+        assert main(["campaign", str(specfile), "--db", str(store),
+                     "--campaign-id", "c1", "--json"]) == 0
+        return specfile, store
+
+    def test_campaign_db_then_resume_zero_rows(self, tmp_path, capsys):
+        from repro.db import CampaignDB
+
+        specfile, store = self._build(tmp_path)
+        capsys.readouterr()
+        with CampaignDB(store) as db:
+            before = db.table_counts()
+        assert main(["campaign", str(specfile), "--db", str(store),
+                     "--campaign-id", "c1", "--json"]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["n_cached"] == 2 and out["n_executed"] == 0
+        with CampaignDB(store) as db:
+            assert db.table_counts() == before
+
+    def test_db_and_cache_dir_conflict(self, tmp_path, capsys):
+        specfile, store = self._build(tmp_path)
+        rc = main(["campaign", str(specfile), "--db", str(store),
+                   "--cache-dir", str(tmp_path / "c")])
+        assert rc == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_runs_report_table(self, tmp_path, capsys):
+        _, store = self._build(tmp_path)
+        capsys.readouterr()
+        assert main(["query", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign" in out and "c1" in out
+        assert "2 row(s)" in out
+
+    def test_sql_passthrough_json(self, tmp_path, capsys):
+        _, store = self._build(tmp_path)
+        capsys.readouterr()
+        assert main(["query", str(store), "--sql",
+                     "SELECT COUNT(*) AS n FROM runs", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["columns"] == ["n"] and doc["rows"] == [[2]]
+
+    def test_sql_writes_rejected(self, tmp_path, capsys):
+        _, store = self._build(tmp_path)
+        capsys.readouterr()
+        rc = main(["query", str(store), "--sql", "DELETE FROM runs"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_store_is_error_not_traceback(self, tmp_path, capsys):
+        rc = main(["query", str(tmp_path / "nope.sqlite")])
+        assert rc == 2
+        assert "no such store" in capsys.readouterr().err
+
+    def test_pair_report_requires_a_and_b(self, tmp_path, capsys):
+        _, store = self._build(tmp_path)
+        capsys.readouterr()
+        rc = main(["query", str(store), "discovery-regressions"])
+        assert rc == 2
+        assert "--a" in capsys.readouterr().err
+
+    def test_profile_db_streams_trace(self, tmp_path, capsys):
+        from repro.db import CampaignDB
+
+        store = tmp_path / "store.sqlite"
+        rc = main(["profile", "lulesh", "-s", "8", "-i", "1", "--tpl", "4",
+                   "--machine", "tiny", "--threads", "2",
+                   "--db", str(store)])
+        assert rc == 0
+        assert str(store) in capsys.readouterr().out
+        with CampaignDB(store) as db:
+            counts = db.table_counts()
+        assert counts["spans"] > 0 and counts["runs"] == 1
+        capsys.readouterr()
+        assert main(["query", str(store), "top-critical-tasks"]) == 0
+        assert "seconds" in capsys.readouterr().out
+
+    def test_info_reports_db_schema(self, capsys):
+        from repro.db import SCHEMA_VERSION, table_inventory
+
+        assert main(["info", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["db"]["schema_version"] == SCHEMA_VERSION
+        assert doc["db"]["tables"] == table_inventory()
+        assert main(["info"]) == 0
+        assert "repro.db" in capsys.readouterr().out
