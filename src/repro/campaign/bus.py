@@ -20,6 +20,7 @@ Same pattern as the simulation kernel's
 from __future__ import annotations
 
 import sys
+import time
 from typing import TextIO
 
 from repro.sim.bus import HookBus
@@ -33,6 +34,21 @@ HOOKS = (
     "campaign_done",
 )
 
+#: One-line catalogue of every campaign hook, mirroring
+#: :data:`repro.sim.bus.HOOK_DOCS`; ``repro info`` renders both so the
+#: full subscriber surface is discoverable from the CLI.
+HOOK_DOCS: dict[str, tuple[str, str]] = {
+    "run_start": ("(index, spec, attempt)", "a run attempt was dispatched"),
+    "run_done": ("(index, spec, result, wall)", "run executed (wall seconds)"),
+    "run_cached": ("(index, spec, result)", "cache hit, run skipped"),
+    "run_retry": (
+        "(index, spec, attempt, reason)",
+        "worker died or timed out; the run will be retried",
+    ),
+    "run_failed": ("(index, spec, error)", "run gave up (error text)"),
+    "campaign_done": ("(result)", "full CampaignResult, campaign finished"),
+}
+
 
 class CampaignBus(HookBus):
     """Hook points for campaign progress observers."""
@@ -42,17 +58,40 @@ class CampaignBus(HookBus):
 
 
 class ProgressPrinter:
-    """Default observer: one line per event, campaign summary at the end."""
+    """Default observer: one line per event, campaign summary at the end.
 
-    def __init__(self, n_total: int, *, stream: TextIO = sys.stderr) -> None:
+    Each line carries the elapsed wall clock and a crude ETA (mean
+    settle pace extrapolated over the remaining runs); the final summary
+    recaps every failed spec label so a scrolled-away failure is never
+    lost.
+    """
+
+    def __init__(
+        self,
+        n_total: int,
+        *,
+        stream: TextIO = sys.stderr,
+        clock=time.monotonic,
+    ) -> None:
         self.n_total = n_total
         self.stream = stream
         self._done = 0
+        self._clock = clock
+        self._t0 = clock()
+        self._failures: list[str] = []
+
+    def _pace(self) -> str:
+        elapsed = self._clock() - self._t0
+        text = f"[{elapsed:7.1f}s"
+        if 0 < self._done < self.n_total and elapsed > 0:
+            remaining = (self.n_total - self._done) * (elapsed / self._done)
+            text += f" eta {remaining:6.1f}s"
+        return text + "]"
 
     def _line(self, tag: str, spec, detail: str = "") -> None:
         self._done += 1
         print(
-            f"[{self._done}/{self.n_total}] {tag:>6} {spec.label}"
+            f"[{self._done}/{self.n_total}]{self._pace()} {tag:>6} {spec.label}"
             + (f" {detail}" if detail else ""),
             file=self.stream,
             flush=True,
@@ -68,7 +107,7 @@ class ProgressPrinter:
     def on_run_retry(self, index, spec, attempt, reason) -> None:
         # Retries do not advance the done counter.
         print(
-            f"[{self._done}/{self.n_total}] retry  {spec.label} "
+            f"[{self._done}/{self.n_total}]{self._pace()} retry  {spec.label} "
             f"(attempt {attempt}: {reason})",
             file=self.stream,
             flush=True,
@@ -76,7 +115,15 @@ class ProgressPrinter:
 
     def on_run_failed(self, index, spec, error) -> None:
         first = error.strip().splitlines()[-1] if error.strip() else "unknown error"
+        self._failures.append(spec.label)
         self._line("FAILED", spec, first)
 
     def on_campaign_done(self, result) -> None:
-        print(result.summary(), file=self.stream, flush=True)
+        for label in self._failures:
+            print(f"FAILED {label}", file=self.stream, flush=True)
+        elapsed = self._clock() - self._t0
+        print(
+            f"{result.summary()} [wall {elapsed:.1f}s]",
+            file=self.stream,
+            flush=True,
+        )

@@ -187,6 +187,9 @@ def run_campaign(
     retries: int = 1,
     bus: Optional[CampaignBus] = None,
     progress: bool = False,
+    live: bool = False,
+    metrics: Optional[object] = None,
+    snapshot_every: int = 0,
     fidelity: Optional[str] = None,
 ) -> CampaignResult:
     """Execute a campaign of experiment specs.
@@ -222,6 +225,20 @@ def run_campaign(
     retries:
         Extra attempts after a worker death or timeout (default 1: the
         retry-once robustness contract).
+    live:
+        Replace the line-per-event progress printer with the in-place
+        :class:`~repro.metrics.live.LiveRenderer` (progress bar, ETA,
+        busy workers, hit rate) fed by a
+        :class:`~repro.metrics.campaign.CampaignMetrics` observer.
+    metrics:
+        An existing :class:`~repro.metrics.campaign.CampaignMetrics` to
+        attach (``live=True`` creates one when omitted).  If it has no
+        store bound and the campaign persists into a
+        :class:`~repro.db.DbResultStore`, deterministic metric snapshots
+        land in that store's ``metrics`` table.
+    snapshot_every:
+        Persist an intermediate metrics snapshot every N settled runs
+        (0: final snapshot only; only meaningful with a SQLite store).
     fidelity:
         When set, every spec is rewritten to that simulation tier
         (``spec.with_fidelity``) before execution — the campaign-level
@@ -233,8 +250,6 @@ def run_campaign(
     if fidelity is not None:
         specs = [s.with_fidelity(fidelity) for s in specs]
     bus = bus if bus is not None else CampaignBus()
-    if progress:
-        bus.attach(ProgressPrinter(len(specs)))
     if store is not None:
         if cache is not None:
             raise ValueError("pass either cache= or store=, not both")
@@ -243,6 +258,24 @@ def run_campaign(
         cache = open_store(cache, campaign=campaign)
     if campaign and isinstance(cache, DbResultStore):
         cache.campaign = campaign
+    # Observers attach after store resolution (metrics may bind to it)
+    # but before the cache pass, so run_cached events are never missed.
+    if (live or snapshot_every > 0) and metrics is None:
+        from repro.metrics.campaign import CampaignMetrics
+
+        metrics = CampaignMetrics(len(specs), snapshot_every=snapshot_every)
+    if metrics is not None:
+        if getattr(metrics, "db", None) is None and isinstance(
+            cache, DbResultStore
+        ):
+            metrics.bind_store(cache)
+        bus.attach(metrics)
+    if live:
+        from repro.metrics.live import LiveRenderer
+
+        bus.attach(LiveRenderer(metrics))
+    if progress and not live:
+        bus.attach(ProgressPrinter(len(specs)))
 
     t0 = time.monotonic()
     records = [RunRecord(spec=s) for s in specs]

@@ -259,7 +259,9 @@ def cmd_campaign(args) -> int:
         reuse_cache=args.resume,
         timeout=args.timeout,
         retries=args.retries,
-        progress=not args.json,
+        progress=not args.json and not args.live,
+        live=args.live,
+        snapshot_every=args.snapshot_every,
         fidelity=args.fidelity,
     )
     if args.json:
@@ -532,7 +534,85 @@ def cmd_query(args) -> int:
     return 0
 
 
+def cmd_metrics(args) -> int:
+    from repro.db.store import CampaignDB, read_metrics
+    from repro.metrics.prometheus import CONTENT_TYPE, render_prometheus
+
+    db = CampaignDB(args.db)
+    if args.action == "export":
+        try:
+            rows = read_metrics(db, args.campaign, args.snapshot)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        text = render_prometheus(rows)
+        if args.out is None or args.out == "-":
+            sys.stdout.write(text)
+        else:
+            from pathlib import Path
+
+            Path(args.out).write_text(text)
+            print(f"wrote {args.out} ({len(rows)} samples)", file=sys.stderr)
+        return 0
+
+    # serve: a stdlib scrape endpoint re-reading the store per request,
+    # so a campaign writing snapshots concurrently is scraped live.
+    import http.server
+
+    class Handler(http.server.BaseHTTPRequestHandler):
+        def do_GET(self):  # noqa: N802 - http.server API
+            if self.path.rstrip("/") not in ("", "/metrics"):
+                self.send_error(404)
+                return
+            try:
+                body = render_prometheus(
+                    read_metrics(db, args.campaign, args.snapshot)
+                ).encode()
+            except ValueError as exc:
+                self.send_error(503, str(exc))
+                return
+            self.send_response(200)
+            self.send_header("Content-Type", CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, fmt, *log_args):  # quiet by default
+            pass
+
+    server = http.server.HTTPServer((args.host, args.port), Handler)
+    print(
+        f"serving metrics from {args.db} on "
+        f"http://{args.host}:{server.server_address[1]}/metrics "
+        "(Ctrl-C to stop)",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.db.store import CampaignDB
+    from repro.metrics.report import write_report
+
+    db = CampaignDB(args.db)
+    try:
+        db.read
+    except Exception as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    out = write_report(db, args.out, campaign=args.campaign)
+    print(f"wrote {out}", file=sys.stderr)
+    return 0
+
+
 def cmd_info(args) -> int:
+    from repro.campaign.bus import HOOK_DOCS as CAMPAIGN_HOOK_DOCS
     from repro.db import SCHEMA_VERSION as DB_SCHEMA_VERSION
     from repro.db import table_inventory
     from repro.memory.machine import epyc_7763_numa, skylake_8168
@@ -557,6 +637,10 @@ def cmd_info(args) -> int:
             "bus_hooks": {
                 name: {"signature": sig, "description": desc}
                 for name, (sig, desc) in HOOK_DOCS.items()
+            },
+            "campaign_hooks": {
+                name: {"signature": sig, "description": desc}
+                for name, (sig, desc) in CAMPAIGN_HOOK_DOCS.items()
             },
             "verify_passes": list(PASSES),
             "verify_rules": dict(RULES),
@@ -583,6 +667,11 @@ def cmd_info(args) -> int:
     print("\ninstrumentation bus hooks (subscribe with on_<hook> methods, "
           "see repro.sim.bus):")
     for name, (sig, desc) in HOOK_DOCS.items():
+        print(f"  {name:>13}{sig}: {desc}")
+
+    print("\ncampaign bus hooks (repro.campaign.bus; observers: "
+          "ProgressPrinter, CampaignMetrics, LiveRenderer):")
+    for name, (sig, desc) in CAMPAIGN_HOOK_DOCS.items():
         print(f"  {name:>13}{sig}: {desc}")
 
     print(f"\nverify passes ({', '.join(PASSES)}) — `repro lint` rules:")
@@ -680,6 +769,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="extra attempts after a worker death/timeout (default 1)")
     p.add_argument("--json", action="store_true",
                    help="print a deterministic JSON campaign summary")
+    p.add_argument("--live", action="store_true",
+                   help="in-place live status line (progress bar, ETA, "
+                        "busy workers, hit rate) instead of line-per-run "
+                        "progress; with --db, deterministic metric "
+                        "snapshots also land in the store's metrics table")
+    p.add_argument("--snapshot-every", type=int, default=0, metavar="N",
+                   help="with --live and --db: persist an intermediate "
+                        "metrics snapshot every N settled runs "
+                        "(default 0: final snapshot only)")
     p.add_argument("--example", action="store_true",
                    help="print an example spec file and exit")
     p.add_argument("--fidelity", default=None,
@@ -792,6 +890,37 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit {columns, rows} as canonical JSON")
     p.add_argument("--csv", action="store_true", help="emit CSV")
     p.set_defaults(fn=cmd_query)
+
+    p = sub.add_parser(
+        "metrics",
+        help="export or serve campaign telemetry snapshots "
+             "(Prometheus text format)",
+    )
+    p.add_argument("action", choices=("export", "serve"),
+                   help="export: write the exposition document; "
+                        "serve: stdlib HTTP scrape endpoint (/metrics)")
+    p.add_argument("db", metavar="STORE.sqlite", help="campaign store file")
+    p.add_argument("-o", "--out", default=None, metavar="FILE",
+                   help="export output file (default: stdout)")
+    p.add_argument("--campaign", default=None, metavar="NAME",
+                   help="campaign id (default: the store's only one)")
+    p.add_argument("--snapshot", type=int, default=None, metavar="N",
+                   help="snapshot id (default: the latest)")
+    p.add_argument("--host", default="127.0.0.1", help="serve bind host")
+    p.add_argument("--port", type=int, default=9464,
+                   help="serve port (default 9464; 0 picks a free one)")
+    p.set_defaults(fn=cmd_metrics)
+
+    p = sub.add_parser(
+        "report",
+        help="render a campaign store into a single-file HTML report",
+    )
+    p.add_argument("db", metavar="STORE.sqlite", help="campaign store file")
+    p.add_argument("-o", "--out", default="report.html", metavar="FILE",
+                   help="output HTML file (default: report.html)")
+    p.add_argument("--campaign", default=None, metavar="NAME",
+                   help="restrict to one campaign id (default: all rows)")
+    p.set_defaults(fn=cmd_report)
 
     p = sub.add_parser(
         "info", help="print presets, cost model and the bus hook catalogue"

@@ -27,10 +27,14 @@ from repro.db.store import (
     annotate_critical_path,
     add_findings,
     delete_trace,
+    latest_snapshot,
+    metrics_snapshots,
     open_store,
+    read_metrics,
     read_trace,
     run_id,
     store_profile,
+    write_metrics,
     write_trace,
 )
 from repro.db.writer import DEFAULT_BATCH, BufferedWriter
@@ -49,13 +53,17 @@ __all__ = [
     "annotate_critical_path",
     "delete_trace",
     "discovery_regressions",
+    "latest_snapshot",
     "list_runs",
+    "metrics_snapshots",
     "open_store",
+    "read_metrics",
     "read_trace",
     "run_id",
     "slack_by_loop",
     "store_profile",
     "table_inventory",
     "top_critical_tasks",
+    "write_metrics",
     "write_trace",
 ]

@@ -32,7 +32,9 @@ from __future__ import annotations
 import sqlite3
 
 #: Version of the store layout; see the policy note in the module doc.
-SCHEMA_VERSION = 1
+#: v2 added the ``metrics`` table (campaign telemetry snapshots) — a
+#: purely additive change with a registered v1 -> v2 migration step.
+SCHEMA_VERSION = 2
 
 #: Schema identifier stamped into ``meta`` (rejects foreign SQLite files).
 SCHEMA_NAME = "repro.db"
@@ -174,6 +176,27 @@ TABLES: dict[str, tuple[tuple[tuple[str, str], ...], tuple[str, ...]]] = {
         ),
         ("run", "seq"),
     ),
+    # Campaign telemetry snapshots (``repro.metrics``; schema v2).  One
+    # row per metric sample per snapshot; histogram bucket/sum detail
+    # rides in ``doc`` as canonical JSON.  Only *deterministic* metrics
+    # are ever persisted (wall-clock series are marked volatile and
+    # excluded by the snapshot writer), so the store's byte-identical-
+    # dump rule survives: two identical serial campaigns write identical
+    # metrics rows.  ``snapshot`` is event-paced (runs settled when the
+    # snapshot was cut), never wall-clock-paced.
+    "metrics": (
+        (
+            ("campaign", "TEXT"),
+            ("snapshot", "INTEGER"),
+            ("name", "TEXT"),
+            ("labels", "TEXT"),  # canonical JSON object of label pairs
+            ("kind", "TEXT"),  # counter | gauge | histogram
+            ("help", "TEXT"),
+            ("value", "REAL"),  # scalar value; histogram observation count
+            ("doc", "TEXT"),  # canonical JSON histogram doc (NULL scalar)
+        ),
+        ("campaign", "snapshot", "name", "labels"),
+    ),
 }
 
 #: Secondary indexes (deterministic DDL; they do not affect dump rows).
@@ -185,9 +208,28 @@ INDEXES = (
     "CREATE INDEX IF NOT EXISTS idx_runs_campaign ON runs(campaign)",
 )
 
+def table_ddl(name: str) -> str:
+    """The CREATE statement for one table (used by migration steps)."""
+    cols, pk = TABLES[name]
+    body = ", ".join(f"{c} {t}" for c, t in cols)
+    body += f", PRIMARY KEY ({', '.join(pk)})"
+    return f"CREATE TABLE IF NOT EXISTS {name} ({body}) WITHOUT ROWID"
+
+
+def _migrate_v1_add_metrics(conn: sqlite3.Connection) -> None:
+    """v1 -> v2: add the (empty) ``metrics`` telemetry table.
+
+    Purely additive — no existing row is touched, which is what makes
+    the upgrade lossless and its ``iterdump()`` deterministic.
+    """
+    conn.execute(table_ddl("metrics"))
+
+
 #: ``from-version -> upgrade(conn)`` steps for additive changes.  A
 #: version gap with no registered step means "rebuild the store".
-MIGRATIONS: dict[int, object] = {}
+MIGRATIONS: dict[int, object] = {
+    1: _migrate_v1_add_metrics,
+}
 
 
 class SchemaError(RuntimeError):
@@ -207,11 +249,7 @@ def table_inventory() -> dict[str, list[str]]:
 
 def ddl() -> str:
     """The full CREATE script, generated from :data:`TABLES`."""
-    stmts = []
-    for name, (cols, pk) in TABLES.items():
-        body = ", ".join(f"{c} {t}" for c, t in cols)
-        body += f", PRIMARY KEY ({', '.join(pk)})"
-        stmts.append(f"CREATE TABLE IF NOT EXISTS {name} ({body}) WITHOUT ROWID")
+    stmts = [table_ddl(name) for name in TABLES]
     stmts.extend(INDEXES)
     return ";\n".join(stmts) + ";"
 

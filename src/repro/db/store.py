@@ -594,6 +594,119 @@ def annotate_critical_path(
 
 
 # ======================================================================
+# metrics snapshots
+# ======================================================================
+def write_metrics(
+    db: CampaignDB,
+    campaign: str,
+    snapshot: int,
+    rows: Sequence[dict],
+) -> int:
+    """Persist one metrics snapshot (sample rows from a registry).
+
+    ``rows`` is what :meth:`~repro.metrics.registry.MetricsRegistry.snapshot`
+    returns — the caller decides the volatility cut; by convention only
+    non-volatile (deterministic) samples land here.  Keyed on
+    ``(campaign, snapshot, name, labels)`` with REPLACE semantics, so
+    re-running a campaign overwrites its snapshots instead of colliding.
+    Returns the number of rows written.
+    """
+    writer = BufferedWriter(db.conn, "metrics", replace=True)
+    for row in rows:
+        doc = row.get("doc")
+        writer.append(
+            (
+                campaign,
+                snapshot,
+                row["name"],
+                canonical_json(row.get("labels") or {}),
+                row["kind"],
+                row.get("help") or "",
+                float(row["value"]),
+                None if doc is None else canonical_json(doc),
+            )
+        )
+    writer.flush()
+    return writer.rows_written
+
+
+def metrics_snapshots(
+    db: CampaignDB, campaign: Optional[str] = None
+) -> list[tuple[str, int]]:
+    """Every persisted ``(campaign, snapshot)`` pair, sorted."""
+    sql = "SELECT DISTINCT campaign, snapshot FROM metrics"
+    params: tuple = ()
+    if campaign is not None:
+        sql += " WHERE campaign = ?"
+        params = (campaign,)
+    sql += " ORDER BY campaign, snapshot"
+    return [(c, int(s)) for c, s in db.read.execute(sql, params)]
+
+
+def latest_snapshot(
+    db: CampaignDB, campaign: Optional[str] = None
+) -> tuple[str, int]:
+    """The newest (highest-id) snapshot, resolving the campaign if unique.
+
+    With ``campaign=None`` the store must hold metrics for exactly one
+    campaign id — otherwise raises :class:`ValueError` naming them so
+    the CLI can ask the user to disambiguate.
+    """
+    pairs = metrics_snapshots(db, campaign)
+    if not pairs:
+        raise ValueError(
+            f"no metrics snapshots in {db.path}"
+            + (f" for campaign {campaign!r}" if campaign is not None else "")
+        )
+    names = sorted({c for c, _ in pairs})
+    if campaign is None and len(names) > 1:
+        raise ValueError(
+            f"store holds metrics for {len(names)} campaigns "
+            f"({', '.join(names)}); pass --campaign to pick one"
+        )
+    name = campaign if campaign is not None else names[0]
+    return name, max(s for c, s in pairs if c == name)
+
+
+def read_metrics(
+    db: CampaignDB,
+    campaign: Optional[str] = None,
+    snapshot: Optional[int] = None,
+) -> list[dict]:
+    """Sample rows of one snapshot (default: the latest).
+
+    Rows come back in the registry-snapshot shape (``name``/``kind``/
+    ``help``/``labels``/``value``/``doc`` with JSON fields decoded) plus
+    ``campaign``/``snapshot``, ready for
+    :func:`~repro.metrics.prometheus.render_prometheus`.
+    """
+    if snapshot is None:
+        campaign, snapshot = latest_snapshot(db, campaign)
+    elif campaign is None:
+        campaign, _ = latest_snapshot(db)
+    rows = db.read.execute(
+        "SELECT name, labels, kind, help, value, doc FROM metrics "
+        "WHERE campaign = ? AND snapshot = ? ORDER BY name, labels",
+        (campaign, snapshot),
+    ).fetchall()
+    out = []
+    for name, labels, kind, help_text, value, doc in rows:
+        out.append(
+            {
+                "campaign": campaign,
+                "snapshot": snapshot,
+                "name": name,
+                "labels": json.loads(labels),
+                "kind": kind,
+                "help": help_text,
+                "value": value,
+                "doc": None if doc is None else json.loads(doc),
+            }
+        )
+    return out
+
+
+# ======================================================================
 # findings + profile storage
 # ======================================================================
 def add_findings(db: CampaignDB, run: str, report) -> int:

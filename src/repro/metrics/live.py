@@ -1,0 +1,118 @@
+"""In-place terminal rendering for ``repro campaign --live``.
+
+:class:`LiveRenderer` attaches to the same :class:`CampaignBus` as the
+:class:`~repro.metrics.campaign.CampaignMetrics` it reads, redrawing one
+status line per event (throttled)::
+
+    [=========>------------------]  12/40  30%  eta 0:41  busy 4  hit 25%  fail 1
+
+On a TTY the line redraws in place (``\\r`` + clear-to-EOL); on a pipe it
+degrades to occasional plain lines so CI logs stay readable.  At
+``campaign_done`` it prints the final state, a recap line for every
+failed spec, and the campaign summary.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional
+
+from repro.metrics.campaign import CampaignMetrics
+
+
+def _fmt_duration(seconds: float) -> str:
+    """``63.2 -> "1:03"``, ``5025 -> "1:23:45"`` — coarse wall-clock."""
+    s = int(seconds)
+    if s >= 3600:
+        return f"{s // 3600}:{s % 3600 // 60:02d}:{s % 60:02d}"
+    return f"{s // 60}:{s % 60:02d}"
+
+
+class LiveRenderer:
+    """Redraws campaign progress from a :class:`CampaignMetrics`."""
+
+    def __init__(
+        self,
+        metrics: CampaignMetrics,
+        *,
+        stream=None,
+        width: int = 30,
+        interval: float = 0.1,
+        clock=time.monotonic,
+    ) -> None:
+        self.metrics = metrics
+        self.stream = stream if stream is not None else sys.stderr
+        self.width = width
+        self.interval = interval
+        self._clock = clock
+        self._last_draw: Optional[float] = None
+        self._tty = bool(getattr(self.stream, "isatty", lambda: False)())
+
+    # ------------------------------------------------------------------
+    def status_line(self) -> str:
+        """The one-line campaign status (no terminal control codes)."""
+        m = self.metrics
+        total = max(m.n_total, 1)
+        frac = min(m.settled / total, 1.0)
+        fill = int(frac * self.width)
+        if 0 < fill < self.width:
+            bar = "=" * (fill - 1) + ">" + "-" * (self.width - fill)
+        else:
+            bar = "=" * fill + "-" * (self.width - fill)
+        eta = m.eta()
+        eta_text = _fmt_duration(eta) if eta is not None and not m.finished else "-:--"
+        parts = [
+            f"[{bar}]",
+            f"{m.settled}/{m.n_total}",
+            f"{int(frac * 100):3d}%",
+            f"eta {eta_text}",
+            f"busy {m.in_flight}",
+            f"hit {int(m.hit_ratio() * 100)}%",
+        ]
+        if m.failed:
+            parts.append(f"fail {m.failed}")
+        return "  ".join(parts)
+
+    def _draw(self, force: bool = False) -> None:
+        now = self._clock()
+        if not force and self._last_draw is not None:
+            # Pipes throttle harder: one line per ~2s beats 1000 lines of log.
+            min_gap = self.interval if self._tty else max(self.interval, 2.0)
+            if now - self._last_draw < min_gap:
+                return
+        self._last_draw = now
+        line = self.status_line()
+        if self._tty:
+            self.stream.write(f"\r\x1b[K{line}")
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()
+
+    # -- bus hooks ------------------------------------------------------
+    def on_run_start(self, index, spec, attempt) -> None:
+        self._draw()
+
+    def on_run_done(self, index, spec, result, wall) -> None:
+        self._draw()
+
+    def on_run_cached(self, index, spec, result) -> None:
+        self._draw()
+
+    def on_run_retry(self, index, spec, attempt, reason) -> None:
+        self._draw()
+
+    def on_run_failed(self, index, spec, error) -> None:
+        self._draw()
+
+    def on_campaign_done(self, result) -> None:
+        self._draw(force=True)
+        if self._tty:
+            self.stream.write("\n")
+        m = self.metrics
+        for label in m.failures:
+            self.stream.write(f"FAILED {label}\n")
+        self.stream.write(
+            f"{result.summary()} [wall {_fmt_duration(m.elapsed())}]\n"
+        )
+        self.stream.flush()

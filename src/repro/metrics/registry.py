@@ -1,0 +1,281 @@
+"""The metrics registry: counters, gauges, fixed-bucket histograms.
+
+Deliberately small and deterministic — this is telemetry for a
+simulator whose whole value is reproducibility:
+
+- **Fixed buckets.**  Histogram boundaries are declared at registration
+  and never adapt, so two runs of the same campaign bucket identically.
+- **Interned labels.**  A family's children are addressed by label-value
+  tuples interned to dense ids (:class:`repro.util.interner.Interner`),
+  the same first-seen-order idiom the dependence resolver uses; child
+  storage is a plain list, and the hot ``labels() -> child`` lookup is
+  one dict probe.
+- **Volatile marking.**  Metrics derived from wall-clock time (ETA,
+  throughput, wall histograms) carry ``volatile=True``; snapshot and
+  exposition code paths exclude them unless explicitly asked, which is
+  what keeps persisted telemetry byte-deterministic.
+
+No clock lives here: observers stamp whatever time base they own.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from bisect import bisect_left
+from typing import Iterable, Optional, Sequence
+
+from repro.util.interner import Interner
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Kind tags (also the ``metrics`` table / exposition TYPE values).
+KINDS = ("counter", "gauge", "histogram")
+
+
+def _check_name(name: str, kind: str) -> None:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid {kind} name {name!r}")
+
+
+class Child:
+    """One labeled series of a family; ``value`` semantics per kind."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    # counters ---------------------------------------------------------
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+    # gauges -----------------------------------------------------------
+    def set(self, value: float) -> None:
+        if math.isnan(value) or math.isinf(value):
+            raise ValueError(f"gauge value must be finite, got {value}")
+        self.value = value
+
+
+class HistogramChild:
+    """One labeled fixed-bucket histogram series."""
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Sequence[float]) -> None:
+        self.buckets = buckets
+        #: Per-bucket (non-cumulative) observation counts; the implicit
+        #: +Inf bucket is the final slot.
+        self.counts = [0] * (len(buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        if math.isnan(value) or math.isinf(value):
+            raise ValueError(f"histogram observation must be finite, got {value}")
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+
+class MetricFamily:
+    """A named metric plus its labeled children.
+
+    ``labels(v1, v2, ...)`` positionally matches the declared label
+    names; the no-label family exposes the single default child's
+    methods directly (``family.inc()``).
+    """
+
+    __slots__ = ("name", "kind", "help", "label_names", "buckets",
+                 "volatile", "_ids", "children")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        label_names: tuple[str, ...] = (),
+        *,
+        buckets: Optional[Sequence[float]] = None,
+        volatile: bool = False,
+    ) -> None:
+        _check_name(name, kind)
+        for ln in label_names:
+            if not _LABEL_RE.match(ln):
+                raise ValueError(f"invalid label name {ln!r}")
+        if kind == "histogram":
+            if not buckets:
+                raise ValueError(f"histogram {name!r} needs fixed buckets")
+            b = [float(x) for x in buckets]
+            if b != sorted(b) or len(set(b)) != len(b):
+                raise ValueError(f"histogram {name!r} buckets must increase")
+            if any(math.isnan(x) or math.isinf(x) for x in b):
+                raise ValueError(f"histogram {name!r} buckets must be finite")
+            self.buckets: tuple[float, ...] = tuple(b)
+        else:
+            if buckets is not None:
+                raise ValueError(f"{kind} {name!r} takes no buckets")
+            self.buckets = ()
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.label_names = label_names
+        self.volatile = volatile
+        #: label-value tuple -> dense child index (first-seen order).
+        self._ids = Interner()
+        self.children: list = []
+        if not label_names:
+            self.labels()  # the default (unlabeled) child is child 0
+
+    # ------------------------------------------------------------------
+    def labels(self, *values: str):
+        """The child for one label-value combination (created on first use)."""
+        if len(values) != len(self.label_names):
+            raise ValueError(
+                f"{self.name} takes {len(self.label_names)} label value(s) "
+                f"{self.label_names}, got {len(values)}"
+            )
+        key = tuple(str(v) for v in values)
+        idx = self._ids(key)
+        if idx == len(self.children):
+            self.children.append(
+                HistogramChild(self.buckets)
+                if self.kind == "histogram"
+                else Child()
+            )
+        return self.children[idx]
+
+    @property
+    def _default(self):
+        return self.children[0]
+
+    # Unlabeled convenience passthroughs ------------------------------
+    def inc(self, amount: float = 1.0) -> None:
+        self._default.inc(amount)
+
+    def set(self, value: float) -> None:
+        self._default.set(value)
+
+    def observe(self, value: float) -> None:
+        self._default.observe(value)
+
+    @property
+    def value(self) -> float:
+        return self._default.value
+
+    # ------------------------------------------------------------------
+    def samples(self) -> Iterable[dict]:
+        """One snapshot row per child, in sorted label order.
+
+        Sorted (not first-seen) order makes snapshots independent of
+        event arrival order — the property campaign-parallelism needs
+        for deterministic final snapshots.
+        """
+        keys = self._ids.keys()
+        order = sorted(range(len(keys)), key=keys.__getitem__)
+        for idx in order:
+            child = self.children[idx]
+            labels = dict(zip(self.label_names, keys[idx]))
+            row: dict = {
+                "name": self.name,
+                "kind": self.kind,
+                "help": self.help,
+                "labels": labels,
+            }
+            if self.kind == "histogram":
+                row["value"] = float(child.count)
+                row["doc"] = {
+                    "buckets": [list(p) for p in zip(self.buckets, child.counts)],
+                    "inf": child.counts[-1],
+                    "sum": child.sum,
+                    "count": child.count,
+                }
+            else:
+                row["value"] = float(child.value)
+                row["doc"] = None
+            yield row
+
+
+class Counter(MetricFamily):
+    def __init__(self, name, help, label_names=(), *, volatile=False):
+        super().__init__(name, "counter", help, tuple(label_names),
+                         volatile=volatile)
+
+
+class Gauge(MetricFamily):
+    def __init__(self, name, help, label_names=(), *, volatile=False):
+        super().__init__(name, "gauge", help, tuple(label_names),
+                         volatile=volatile)
+
+
+class Histogram(MetricFamily):
+    def __init__(self, name, help, buckets, label_names=(), *, volatile=False):
+        super().__init__(name, "histogram", help, tuple(label_names),
+                         buckets=buckets, volatile=volatile)
+
+
+class MetricsRegistry:
+    """A named collection of metric families.
+
+    Registration order is kept but snapshots sort by name, so the
+    serialized form never depends on which observer registered first.
+    """
+
+    __slots__ = ("_families",)
+
+    def __init__(self) -> None:
+        self._families: dict[str, MetricFamily] = {}
+
+    # -- registration ---------------------------------------------------
+    def register(self, family: MetricFamily) -> MetricFamily:
+        existing = self._families.get(family.name)
+        if existing is not None:
+            raise ValueError(f"metric {family.name!r} already registered")
+        self._families[family.name] = family
+        return family
+
+    def counter(self, name, help, label_names=(), *, volatile=False) -> Counter:
+        return self.register(Counter(name, help, label_names, volatile=volatile))
+
+    def gauge(self, name, help, label_names=(), *, volatile=False) -> Gauge:
+        return self.register(Gauge(name, help, label_names, volatile=volatile))
+
+    def histogram(
+        self, name, help, buckets, label_names=(), *, volatile=False
+    ) -> Histogram:
+        return self.register(
+            Histogram(name, help, buckets, label_names, volatile=volatile)
+        )
+
+    # -- access ---------------------------------------------------------
+    def get(self, name: str) -> Optional[MetricFamily]:
+        return self._families.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    def families(self, *, include_volatile: bool = True) -> list[MetricFamily]:
+        out = [
+            f for f in self._families.values()
+            if include_volatile or not f.volatile
+        ]
+        out.sort(key=lambda f: f.name)
+        return out
+
+    def snapshot(self, *, include_volatile: bool = False) -> list[dict]:
+        """Flat sample rows for persistence/exposition (sorted by name).
+
+        Volatile (wall-clock) families are excluded by default — this is
+        the determinism boundary: everything a snapshot contains derives
+        from event counts and simulated seconds.
+        """
+        rows: list[dict] = []
+        for family in self.families(include_volatile=include_volatile):
+            rows.extend(family.samples())
+        return rows

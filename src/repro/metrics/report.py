@@ -1,0 +1,640 @@
+"""Single-file static HTML campaign report (``repro report``).
+
+Renders one campaign store into a self-contained ``report.html`` —
+inline SVG sweep curves (makespan vs scale per runtime config),
+slack-by-loop tables for annotated traces, discovery-counter deltas
+against the baseline config, the failed-run recap, and the latest
+persisted metrics snapshot.  Pure stdlib: no JS frameworks, no webfonts,
+no external assets; hover detail rides native SVG ``<title>`` tooltips
+and every chart carries a table view of the same numbers.
+
+Deterministic by construction: all queries carry a total ``ORDER BY``,
+nothing wall-clock is rendered, and numbers go through one canonical
+formatter — identical stores produce byte-identical reports.
+
+Styling follows the repo-wide dataviz conventions: a validated 8-slot
+categorical palette (series identity), light/dark via CSS custom
+properties, 2px lines with ≥8px surface-ringed markers, hairline grids,
+text in ink tokens (never series colors).
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import math
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.db.store import CampaignDB, read_metrics
+
+#: Validated categorical palette (light, dark) per slot — fixed order,
+#: never cycled; past 8 configs the tail folds into the table view.
+PALETTE = (
+    ("#2a78d6", "#3987e5"),  # blue
+    ("#eb6834", "#d95926"),  # orange
+    ("#1baf7a", "#199e70"),  # aqua
+    ("#eda100", "#c98500"),  # yellow
+    ("#e87ba4", "#d55181"),  # magenta
+    ("#008300", "#008300"),  # green
+    ("#4a3aa7", "#9085e9"),  # violet
+    ("#e34948", "#e66767"),  # red
+)
+
+_CHART_W, _CHART_H = 640, 340
+_MARGIN = dict(left=64, right=24, top=16, bottom=44)
+
+
+def _num(v, digits: int = 6) -> str:
+    """Canonical number text (deterministic; integers stay bare)."""
+    if v is None:
+        return "—"
+    f = float(v)
+    if f.is_integer() and abs(f) < 1e15:
+        return str(int(f))
+    return f"{f:.{digits}g}"
+
+
+def _esc(text) -> str:
+    return html.escape(str(text), quote=True)
+
+
+def _ticks(lo: float, hi: float, n: int = 5) -> list[float]:
+    """~n clean-number axis ticks covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    raw = span / max(n, 1)
+    mag = 10.0 ** math.floor(math.log10(raw))
+    for mult in (1, 2, 2.5, 5, 10):
+        step = mag * mult
+        if span / step <= n:
+            break
+    first = step * math.floor(lo / step)
+    out, t = [], first
+    while t <= hi + step * 1e-9:
+        if t >= lo - step * 1e-9:
+            out.append(round(t, 12))
+        t += step
+    return out or [lo, hi]
+
+
+# ======================================================================
+# SVG pieces
+# ======================================================================
+def _line_chart(
+    title: str,
+    series: "list[tuple[str, list[tuple[float, float]]]]",
+    *,
+    x_label: str,
+    y_label: str,
+) -> str:
+    """Multi-line chart: 2px lines, ringed 8px markers, hairline grid.
+
+    ``series`` is ``[(name, [(x, y), ...]), ...]`` with points sorted by
+    x.  Identity is categorical (fixed slot order); a legend always
+    accompanies ≥2 series and each marker carries a native tooltip.
+    """
+    w, h, m = _CHART_W, _CHART_H, _MARGIN
+    pw, ph = w - m["left"] - m["right"], h - m["top"] - m["bottom"]
+    xs = [x for _, pts in series for x, _ in pts]
+    ys = [y for _, pts in series for _, y in pts]
+    if not xs:
+        return ""
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = 0.0, max(ys) * 1.05 or 1.0
+    if x_hi <= x_lo:
+        x_lo, x_hi = x_lo - 0.5, x_hi + 0.5
+
+    def sx(x: float) -> float:
+        return m["left"] + (x - x_lo) / (x_hi - x_lo) * pw
+
+    def sy(y: float) -> float:
+        return m["top"] + ph - (y - y_lo) / (y_hi - y_lo) * ph
+
+    parts = [
+        f'<svg viewBox="0 0 {w} {h}" role="img" '
+        f'aria-label="{_esc(title)}">'
+    ]
+    for t in _ticks(y_lo, y_hi):
+        y = sy(t)
+        parts.append(
+            f'<line class="grid" x1="{m["left"]}" y1="{y:.1f}" '
+            f'x2="{w - m["right"]}" y2="{y:.1f}"/>'
+        )
+        parts.append(
+            f'<text class="tick" x="{m["left"] - 8}" y="{y:.1f}" '
+            f'text-anchor="end" dominant-baseline="middle">{_num(t, 4)}</text>'
+        )
+    for t in _ticks(x_lo, x_hi):
+        x = sx(t)
+        parts.append(
+            f'<text class="tick" x="{x:.1f}" y="{h - m["bottom"] + 18}" '
+            f'text-anchor="middle">{_num(t, 4)}</text>'
+        )
+    parts.append(
+        f'<line class="axis" x1="{m["left"]}" y1="{m["top"] + ph}" '
+        f'x2="{w - m["right"]}" y2="{m["top"] + ph}"/>'
+    )
+    parts.append(
+        f'<text class="lab" x="{m["left"] + pw / 2:.0f}" y="{h - 6}" '
+        f'text-anchor="middle">{_esc(x_label)}</text>'
+    )
+    parts.append(
+        f'<text class="lab" transform="rotate(-90)" '
+        f'x="{-(m["top"] + ph / 2):.0f}" y="14" '
+        f'text-anchor="middle">{_esc(y_label)}</text>'
+    )
+    for si, (name, pts) in enumerate(series[:8]):
+        cls = f"s{si + 1}"
+        path = " ".join(
+            f"{'M' if i == 0 else 'L'}{sx(x):.1f},{sy(y):.1f}"
+            for i, (x, y) in enumerate(pts)
+        )
+        if len(pts) > 1:
+            parts.append(f'<path class="line {cls}" d="{path}"/>')
+        for x, y in pts:
+            parts.append(
+                f'<circle class="dot {cls}" cx="{sx(x):.1f}" '
+                f'cy="{sy(y):.1f}" r="4">'
+                f"<title>{_esc(name)}: {x_label}={_num(x)}, "
+                f"{y_label}={_num(y)}</title></circle>"
+            )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _bar_chart(
+    title: str,
+    bars: "list[tuple[str, float]]",
+    *,
+    y_label: str,
+) -> str:
+    """Horizontal magnitude bars: one sequential hue, 4px rounded ends."""
+    if not bars:
+        return ""
+    m_left, m_right, row_h, gap = 180, 60, 22, 2
+    w = _CHART_W
+    h = len(bars) * (row_h + gap) + 24
+    v_hi = max(v for _, v in bars) or 1.0
+    pw = w - m_left - m_right
+    parts = [
+        f'<svg viewBox="0 0 {w} {h}" role="img" aria-label="{_esc(title)}">'
+    ]
+    for i, (label, v) in enumerate(bars):
+        y = 8 + i * (row_h + gap)
+        bw = max(v / v_hi * pw, 1.0)
+        r = min(4.0, bw)
+        parts.append(
+            f'<path class="bar" d="M{m_left},{y} h{bw - r:.1f} '
+            f"q{r},0 {r},{r} v{row_h - 2 * r} q0,{r} -{r},{r} "
+            f'h-{bw - r:.1f} z">'
+            f"<title>{_esc(label)}: {_num(v)}</title></path>"
+        )
+        parts.append(
+            f'<text class="tick" x="{m_left - 8}" y="{y + row_h / 2:.1f}" '
+            f'text-anchor="end" dominant-baseline="middle">'
+            f"{_esc(label)}</text>"
+        )
+        parts.append(
+            f'<text class="val" x="{m_left + bw + 6:.1f}" '
+            f'y="{y + row_h / 2:.1f}" dominant-baseline="middle">'
+            f"{_num(v, 4)}</text>"
+        )
+    parts.append(
+        f'<text class="lab" x="{m_left}" y="{h - 4}">{_esc(y_label)}</text>'
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _legend(names: Sequence[str]) -> str:
+    if len(names) < 2:
+        return ""
+    items = "".join(
+        f'<span class="key"><span class="swatch s{i + 1}"></span>'
+        f"{_esc(n)}</span>"
+        for i, n in enumerate(names[:8])
+    )
+    more = (
+        f'<span class="key muted">+{len(names) - 8} more in the table</span>'
+        if len(names) > 8
+        else ""
+    )
+    return f'<div class="legend">{items}{more}</div>'
+
+
+def _table(columns: Sequence[str], rows: Sequence[Sequence]) -> str:
+    head = "".join(f"<th>{_esc(c)}</th>" for c in columns)
+    body = "".join(
+        "<tr>"
+        + "".join(
+            f"<td>{_num(v) if isinstance(v, (int, float)) else _esc(v)}</td>"
+            for v in row
+        )
+        + "</tr>"
+        for row in rows
+    )
+    return f"<table><thead><tr>{head}</tr></thead><tbody>{body}</tbody></table>"
+
+
+def _tile(label: str, value: str) -> str:
+    return (
+        f'<div class="tile"><div class="tile-label">{_esc(label)}</div>'
+        f'<div class="tile-value">{_esc(value)}</div></div>'
+    )
+
+
+_CSS = """
+:root { color-scheme: light dark; }
+body {
+  margin: 0; background: var(--plane); color: var(--ink);
+  font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+.viz-root {
+  --plane: #f9f9f7; --surface-1: #fcfcfb; --ink: #0b0b0b;
+  --ink-2: #52514e; --muted: #898781; --grid: #e1e0d9; --axis: #c3c2b7;
+  --border: rgba(11,11,11,0.10);
+  --series-1: #2a78d6; --series-2: #eb6834; --series-3: #1baf7a;
+  --series-4: #eda100; --series-5: #e87ba4; --series-6: #008300;
+  --series-7: #4a3aa7; --series-8: #e34948;
+  max-width: 960px; margin: 0 auto; padding: 24px;
+}
+@media (prefers-color-scheme: dark) {
+  .viz-root {
+    --plane: #0d0d0d; --surface-1: #1a1a19; --ink: #ffffff;
+    --ink-2: #c3c2b7; --muted: #898781; --grid: #2c2c2a; --axis: #383835;
+    --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5; --series-2: #d95926; --series-3: #199e70;
+    --series-4: #c98500; --series-5: #d55181; --series-6: #008300;
+    --series-7: #9085e9; --series-8: #e66767;
+  }
+}
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 16px; margin: 28px 0 8px; }
+.sub { color: var(--ink-2); margin: 0 0 16px; }
+.tiles { display: flex; gap: 12px; flex-wrap: wrap; margin: 16px 0; }
+.tile {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 10px 16px; min-width: 110px;
+}
+.tile-label { color: var(--ink-2); font-size: 12px; }
+.tile-value { font-size: 26px; font-weight: 600; }
+.panel {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 12px; margin: 8px 0;
+}
+svg { display: block; width: 100%; height: auto; }
+.grid { stroke: var(--grid); stroke-width: 1; }
+.axis { stroke: var(--axis); stroke-width: 1; }
+.tick, .lab, .val { fill: var(--muted); font-size: 11px; }
+.lab { fill: var(--ink-2); }
+.val { font-variant-numeric: tabular-nums; }
+.line { fill: none; stroke-width: 2; stroke-linejoin: round; stroke-linecap: round; }
+.dot { stroke: var(--surface-1); stroke-width: 2; }
+.bar { fill: var(--series-1); }
+.line.s1 { stroke: var(--series-1); } .dot.s1 { fill: var(--series-1); }
+.line.s2 { stroke: var(--series-2); } .dot.s2 { fill: var(--series-2); }
+.line.s3 { stroke: var(--series-3); } .dot.s3 { fill: var(--series-3); }
+.line.s4 { stroke: var(--series-4); } .dot.s4 { fill: var(--series-4); }
+.line.s5 { stroke: var(--series-5); } .dot.s5 { fill: var(--series-5); }
+.line.s6 { stroke: var(--series-6); } .dot.s6 { fill: var(--series-6); }
+.line.s7 { stroke: var(--series-7); } .dot.s7 { fill: var(--series-7); }
+.line.s8 { stroke: var(--series-8); } .dot.s8 { fill: var(--series-8); }
+.legend { display: flex; gap: 16px; flex-wrap: wrap; margin: 8px 0; }
+.key { display: inline-flex; align-items: center; gap: 6px; color: var(--ink-2); }
+.key.muted { color: var(--muted); }
+.swatch { width: 12px; height: 12px; border-radius: 3px; display: inline-block; }
+.swatch.s1 { background: var(--series-1); } .swatch.s2 { background: var(--series-2); }
+.swatch.s3 { background: var(--series-3); } .swatch.s4 { background: var(--series-4); }
+.swatch.s5 { background: var(--series-5); } .swatch.s6 { background: var(--series-6); }
+.swatch.s7 { background: var(--series-7); } .swatch.s8 { background: var(--series-8); }
+table { border-collapse: collapse; width: 100%; font-variant-numeric: tabular-nums; }
+th, td { text-align: left; padding: 4px 10px; border-bottom: 1px solid var(--grid); }
+th { color: var(--ink-2); font-weight: 600; font-size: 12px; }
+details > summary { color: var(--ink-2); cursor: pointer; margin: 4px 0; }
+.fail td:first-child { color: var(--ink); font-weight: 600; }
+footer { color: var(--muted); font-size: 12px; margin-top: 32px; }
+code { font-size: 12px; }
+"""
+
+
+# ======================================================================
+# data gathering
+# ======================================================================
+def _campaign_runs(db: CampaignDB, campaign: Optional[str]) -> list[dict]:
+    where, params = "", ()
+    if campaign is not None:
+        where, params = "WHERE r.campaign = ? ", (campaign,)
+    cols = (
+        "key", "campaign", "app", "config", "fidelity", "ranks", "scale",
+        "makespan", "discovery_busy", "work_total", "n_tasks",
+        "edges_created", "seed", "engine", "params",
+    )
+    rows = db.read.execute(
+        "SELECT r.key, r.campaign, s.app, s.config_name, r.fidelity, "
+        "s.ranks, s.scale, r.makespan, r.discovery_busy, r.work_total, "
+        "r.n_tasks, r.edges_created, s.seed, s.engine, s.params "
+        "FROM runs r JOIN specs s ON s.key = r.key "
+        + where
+        + "ORDER BY s.app, s.config_name, s.scale, r.key",
+        params,
+    ).fetchall()
+    return [dict(zip(cols, r)) for r in rows]
+
+
+def _failed_runs(db: CampaignDB) -> list[tuple[str, str]]:
+    rows = db.read.execute(
+        "SELECT e.key, s.app, s.config_name, s.scale, e.message "
+        "FROM errors e LEFT JOIN specs s ON s.key = e.key ORDER BY e.key"
+    ).fetchall()
+    out = []
+    for key, app, config, scale, message in rows:
+        label = (
+            f"{app} {config} s={_num(scale)}" if app else key[:12]
+        )
+        tail = message.strip().splitlines()[-1] if message.strip() else ""
+        out.append((label, tail))
+    return out
+
+
+def _annotated_runs(db: CampaignDB, limit: int = 4) -> list[str]:
+    return [
+        r[0]
+        for r in db.read.execute(
+            "SELECT key FROM trace_runs WHERE id IN "
+            "(SELECT DISTINCT run FROM spans WHERE on_path IS NOT NULL) "
+            "ORDER BY key LIMIT ?",
+            (limit,),
+        )
+    ]
+
+
+def _sweep_axis(app_runs: list[dict]) -> tuple:
+    """The x-axis for one app's sweep chart: whatever actually varies.
+
+    Prefers ``scale``; otherwise the numeric spec param with the most
+    distinct values across the runs (``tpl`` in the paper's sweeps);
+    falls back to ``scale`` when nothing varies (the bar-chart case).
+    Returns ``(axis_name, x_of(run))``.
+    """
+    if len({r["scale"] for r in app_runs}) > 1:
+        return "scale", lambda r: r["scale"]
+    counts: dict[str, set] = {}
+    for r in app_runs:
+        for k, v in json.loads(r["params"] or "{}").items():
+            if isinstance(v, (int, float)) and not isinstance(v, bool):
+                counts.setdefault(k, set()).add(v)
+    varying = sorted(
+        (k for k, vs in counts.items() if len(vs) > 1),
+        key=lambda k: (-len(counts[k]), k),
+    )
+    if varying:
+        key = varying[0]
+        return key, lambda r: float(
+            json.loads(r["params"] or "{}").get(key, 0)
+        )
+    return "scale", lambda r: r["scale"]
+
+
+def _discovery_deltas(runs: list[dict]) -> tuple[list[str], list[list]]:
+    """Per-workload discovery/edge deltas against the baseline config.
+
+    Workloads match on everything but the runtime config (the paper's
+    comparison unit); the baseline is the lexicographically first config
+    name, so the table is stable no matter the execution order.
+    """
+    configs = sorted({r["config"] for r in runs})
+    if len(configs) < 2:
+        return [], []
+    base_name = configs[0]
+    base: dict[tuple, dict] = {}
+    for r in runs:
+        if r["config"] == base_name:
+            wl = (r["app"], r["params"], r["engine"], r["fidelity"],
+                  r["ranks"], r["seed"])
+            base[wl] = r
+    columns = [
+        "app", "scale", "config", "discovery_busy",
+        f"Δ vs {base_name}", "edges", "Δ edges", "makespan", "Δ makespan",
+    ]
+    out = []
+    for r in runs:
+        if r["config"] == base_name:
+            continue
+        wl = (r["app"], r["params"], r["engine"], r["fidelity"],
+              r["ranks"], r["seed"])
+        b = base.get(wl)
+        if b is None:
+            continue
+        out.append(
+            [
+                r["app"], r["scale"], r["config"], r["discovery_busy"],
+                r["discovery_busy"] - b["discovery_busy"],
+                r["edges_created"], r["edges_created"] - b["edges_created"],
+                r["makespan"], r["makespan"] - b["makespan"],
+            ]
+        )
+    return columns, out
+
+
+# ======================================================================
+# assembly
+# ======================================================================
+def render_report(
+    db: CampaignDB, *, campaign: Optional[str] = None
+) -> str:
+    """The full report document for one store (HTML text)."""
+    runs = _campaign_runs(db, campaign)
+    if campaign is None:
+        names = sorted({r["campaign"] for r in runs})
+        title_campaign = names[0] if len(names) == 1 else "all campaigns"
+    else:
+        title_campaign = campaign
+    failed = _failed_runs(db)
+    try:
+        metric_rows = read_metrics(db, campaign)
+    except ValueError:
+        metric_rows = []
+    metric_scalars = {
+        (m["name"], tuple(sorted(m["labels"].items()))): m["value"]
+        for m in metric_rows
+        if m["kind"] != "histogram"
+    }
+
+    sections: list[str] = []
+
+    # ---- KPI tiles ---------------------------------------------------
+    tiles = [_tile("Stored runs", str(len(runs)))]
+    cached = metric_scalars.get(
+        ("repro_campaign_runs_total", (("event", "cached"),))
+    )
+    executed = metric_scalars.get(
+        ("repro_campaign_runs_total", (("event", "done"),))
+    )
+    if executed is not None:
+        tiles.append(_tile("Executed", _num(executed)))
+    if cached is not None:
+        tiles.append(_tile("Cache hits", _num(cached)))
+    hit = metric_scalars.get(("repro_campaign_cache_hit_ratio", ()))
+    if hit is not None:
+        tiles.append(_tile("Hit rate", f"{hit * 100:.0f}%"))
+    tiles.append(_tile("Failed", str(len(failed))))
+    if runs:
+        tiles.append(
+            _tile("Best makespan", _num(min(r["makespan"] for r in runs), 4))
+        )
+    sections.append(f'<div class="tiles">{"".join(tiles)}</div>')
+
+    # ---- sweep curves ------------------------------------------------
+    apps = sorted({r["app"] for r in runs})
+    chart_html = []
+    for app in apps:
+        app_runs = [r for r in runs if r["app"] == app]
+        axis, x_of = _sweep_axis(app_runs)
+        configs = sorted({r["config"] for r in app_runs})
+        series = []
+        for c in configs:
+            pts = sorted(
+                (x_of(r), r["makespan"])
+                for r in app_runs
+                if r["config"] == c
+            )
+            series.append((c, pts))
+        multi_x = any(len({x for x, _ in pts}) > 1 for _, pts in series)
+        if multi_x:
+            svg = _line_chart(
+                f"{app}: makespan vs {axis}",
+                series,
+                x_label=axis,
+                y_label="makespan (s)",
+            )
+            legend = _legend(configs)
+        else:
+            bars = [
+                (f"{c} {axis}={_num(x)}", y)
+                for c, pts in series
+                for x, y in pts
+            ]
+            svg = _bar_chart(
+                f"{app}: makespan by config", bars, y_label="makespan (s)"
+            )
+            legend = ""
+        table = _table(
+            ("config", "scale", "ranks", "makespan", "discovery_busy",
+             "n_tasks", "edges"),
+            [
+                (r["config"], r["scale"], r["ranks"], r["makespan"],
+                 r["discovery_busy"], r["n_tasks"], r["edges_created"])
+                for r in app_runs
+            ],
+        )
+        chart_html.append(
+            f'<div class="panel"><h2>{_esc(app)} — makespan sweep</h2>'
+            f"{legend}{svg}"
+            f"<details><summary>table view</summary>{table}</details></div>"
+        )
+    if chart_html:
+        sections.append("".join(chart_html))
+
+    # ---- discovery deltas --------------------------------------------
+    d_cols, d_rows = _discovery_deltas(runs)
+    if d_rows:
+        sections.append(
+            '<div class="panel"><h2>Discovery-counter deltas vs baseline '
+            "config</h2>"
+            + _table(d_cols, d_rows)
+            + "</div>"
+        )
+
+    # ---- slack by loop -----------------------------------------------
+    from repro.db.queries import slack_by_loop
+
+    slack_html = []
+    for run in _annotated_runs(db):
+        cols, rows = slack_by_loop(db, run=run)
+        if rows:
+            slack_html.append(
+                f"<h2>Slack by loop — run <code>{_esc(run[:16])}</code></h2>"
+                + _table(cols, rows)
+            )
+    if slack_html:
+        sections.append(f'<div class="panel">{"".join(slack_html)}</div>')
+
+    # ---- failed-run recap --------------------------------------------
+    if failed:
+        sections.append(
+            '<div class="panel"><h2>Failed runs</h2>'
+            + _table(("spec", "error"), failed).replace(
+                "<tbody>", '<tbody class="fail">'
+            )
+            + "</div>"
+        )
+
+    # ---- metrics snapshot --------------------------------------------
+    if metric_rows:
+        snap = metric_rows[0]["snapshot"]
+        scalar_rows = [
+            (
+                m["name"]
+                + (
+                    "{"
+                    + ",".join(f"{k}={v}" for k, v in sorted(m["labels"].items()))
+                    + "}"
+                    if m["labels"]
+                    else ""
+                ),
+                m["kind"],
+                m["value"],
+            )
+            for m in metric_rows
+            if m["kind"] != "histogram"
+        ]
+        hist_rows = [
+            (
+                m["name"],
+                json.dumps(m["doc"]["buckets"]),
+                m["doc"]["inf"],
+                m["doc"]["sum"],
+                m["doc"]["count"],
+            )
+            for m in metric_rows
+            if m["kind"] == "histogram"
+        ]
+        body = _table(("metric", "kind", "value"), scalar_rows)
+        if hist_rows:
+            body += _table(
+                ("histogram", "buckets [le, n]", "+Inf", "sum", "count"),
+                hist_rows,
+            )
+        sections.append(
+            f'<div class="panel"><h2>Metrics snapshot {snap}</h2>{body}</div>'
+        )
+
+    store_name = db.path.name
+    return (
+        "<!DOCTYPE html>\n<html><head><meta charset='utf-8'>"
+        f"<title>repro campaign report — {_esc(title_campaign)}</title>"
+        f"<style>{_CSS}</style></head>"
+        '<body><div class="viz-root">'
+        f"<h1>Campaign report — {_esc(title_campaign)}</h1>"
+        f'<p class="sub">store <code>{_esc(store_name)}</code></p>'
+        + "".join(sections)
+        + "<footer>generated by <code>repro report</code> · deterministic "
+        "(no wall-clock content; identical stores render byte-identical "
+        "reports)</footer>"
+        "</div></body></html>\n"
+    )
+
+
+def write_report(
+    store: Union[str, Path, CampaignDB],
+    out: Union[str, Path],
+    *,
+    campaign: Optional[str] = None,
+) -> Path:
+    """Render ``store`` into a standalone HTML file at ``out``."""
+    db = store if isinstance(store, CampaignDB) else CampaignDB(store)
+    out_path = Path(out)
+    out_path.write_text(render_report(db, campaign=campaign))
+    return out_path

@@ -37,6 +37,10 @@ class ProfileReport:
     cp: Optional[CriticalPathResult]
     #: The rank whose tid space ``compiled``/``cp`` describe.
     profiled_rank: int
+    #: Cheap per-run counts from the same bus (tasks, comm, barriers,
+    #: discovery share) — ``sim_metrics.fill_registry()`` turns them into
+    #: exportable metric families.
+    sim_metrics: "Optional[object]" = None
 
 
 def profile_spec(spec: "ExperimentSpec") -> ProfileReport:
@@ -50,6 +54,7 @@ def profile_spec(spec: "ExperimentSpec") -> ProfileReport:
     from dataclasses import replace
 
     from repro.campaign.runner import build_programs, derive_config, run_experiment
+    from repro.metrics.sim import SimMetrics
     from repro.sim import InstrumentationBus
 
     cfg = derive_config(spec)
@@ -60,6 +65,7 @@ def profile_spec(spec: "ExperimentSpec") -> ProfileReport:
     bus = InstrumentationBus()
     recorder = TraceRecorder()
     bus.attach(recorder)
+    sim_metrics = bus.attach(SimMetrics())
     result = run_experiment(spec, bus=bus)
     profiled_rank = result.extra.get("cluster", {}).get("profiled_rank", 0)
 
@@ -84,6 +90,7 @@ def profile_spec(spec: "ExperimentSpec") -> ProfileReport:
         compiled=compiled,
         cp=cp,
         profiled_rank=profiled_rank,
+        sim_metrics=sim_metrics,
     )
 
 
@@ -157,6 +164,13 @@ def text_report(report: ProfileReport) -> str:
         f"trace: {n} task spans, {len(report.recorder.barrier_kind)} "
         f"barriers, {len(report.recorder.comm_records)} MPI requests"
     )
+    if report.sim_metrics is not None:
+        sm = report.sim_metrics
+        lines.append(
+            f"sim metrics: discovery share {sm.discovery_share():.4f} "
+            f"({sm.tasks_created} created + {sm.tasks_replayed} replayed "
+            f"over makespan {sm.t_last_end:.6f}s)"
+        )
     return "\n".join(lines)
 
 

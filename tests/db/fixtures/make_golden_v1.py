@@ -1,0 +1,64 @@
+"""Regenerate the committed golden v1 store fixture.
+
+Run **only from a checkout at schema version 1** (the commit that
+introduced ``repro.db``): it executes a tiny two-spec campaign plus one
+traced profile run into ``golden_v1.sqlite``.  The committed fixture is
+what the MIGRATIONS-chain tests upgrade; regenerating it from a newer
+schema would defeat the point, so the script refuses when
+``SCHEMA_VERSION != 1``.
+
+    PYTHONPATH=src python tests/db/fixtures/make_golden_v1.py
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import sys
+from pathlib import Path
+
+from repro.campaign.engine import run_campaign
+from repro.campaign.spec import ExperimentSpec
+from repro.db import CampaignDB, store_profile
+from repro.db.schema import SCHEMA_VERSION
+from repro.obs import profile_spec
+from repro.runtime import presets
+
+OUT = Path(__file__).parent / "golden_v1.sqlite"
+
+
+def main() -> int:
+    if SCHEMA_VERSION != 1:
+        print(
+            f"refusing: SCHEMA_VERSION is {SCHEMA_VERSION}, need a v1 "
+            "checkout to regenerate the v1 fixture",
+            file=sys.stderr,
+        )
+        return 1
+    OUT.unlink(missing_ok=True)
+    base = ExperimentSpec(
+        app="lulesh",
+        config=presets.mpc_omp(n_threads=4),
+        params={"s": 8, "iterations": 2, "tpl": 8},
+    )
+    specs = [base, base.with_params(tpl=16)]
+    out = run_campaign(specs, store=OUT, campaign="golden-v1")
+    assert out.ok, out.summary()
+    with CampaignDB(OUT) as db:
+        store_profile(db, profile_spec(base), campaign="golden-v1")
+        # Single-file fixture: fold the WAL into the main database.
+        db.conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+    for side in (OUT.with_suffix(".sqlite-wal"), OUT.with_suffix(".sqlite-shm")):
+        side.unlink(missing_ok=True)
+    with sqlite3.connect(OUT) as conn:
+        rows = dict(
+            conn.execute(
+                "SELECT key, value FROM meta WHERE key IN "
+                "('schema', 'schema_version')"
+            ).fetchall()
+        )
+    print(f"wrote {OUT} ({OUT.stat().st_size} bytes): {rows}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

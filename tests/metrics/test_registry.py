@@ -1,0 +1,141 @@
+"""The metrics registry: validation, interning, buckets, volatility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+)
+
+
+class TestValidation:
+    def test_bad_metric_name_rejected(self):
+        with pytest.raises(ValueError, match="invalid counter name"):
+            Counter("0bad-name", "nope")
+
+    def test_bad_label_name_rejected(self):
+        with pytest.raises(ValueError, match="invalid label name"):
+            Counter("ok_name", "help", ("le-gal",))
+
+    def test_counter_rejects_negative_increment(self):
+        c = Counter("c_total", "help")
+        with pytest.raises(ValueError, match=">= 0"):
+            c.inc(-1)
+
+    def test_gauge_rejects_non_finite(self):
+        g = Gauge("g", "help")
+        with pytest.raises(ValueError, match="finite"):
+            g.set(float("nan"))
+        with pytest.raises(ValueError, match="finite"):
+            g.set(float("inf"))
+
+    def test_histogram_needs_increasing_finite_buckets(self):
+        with pytest.raises(ValueError, match="needs fixed buckets"):
+            Histogram("h", "help", ())
+        with pytest.raises(ValueError, match="must increase"):
+            Histogram("h", "help", (1.0, 1.0, 2.0))
+        with pytest.raises(ValueError, match="must increase"):
+            Histogram("h", "help", (2.0, 1.0))
+        with pytest.raises(ValueError, match="finite"):
+            Histogram("h", "help", (1.0, float("inf")))
+
+    def test_scalar_kinds_take_no_buckets(self):
+        with pytest.raises(ValueError, match="takes no buckets"):
+            MetricFamily("c", "counter", "help", buckets=(1.0,))
+
+    def test_duplicate_registration_rejected(self):
+        r = MetricsRegistry()
+        r.counter("dup_total", "first")
+        with pytest.raises(ValueError, match="already registered"):
+            r.counter("dup_total", "second")
+
+    def test_wrong_label_arity_rejected(self):
+        c = Counter("c_total", "help", ("event",))
+        with pytest.raises(ValueError, match="label value"):
+            c.labels("a", "b")
+        with pytest.raises(ValueError, match="label value"):
+            c.labels()
+
+
+class TestChildren:
+    def test_same_labels_same_child(self):
+        c = Counter("c_total", "help", ("event",))
+        assert c.labels("done") is c.labels("done")
+        assert c.labels("done") is not c.labels("failed")
+
+    def test_unlabeled_family_passthrough(self):
+        c = Counter("c_total", "help")
+        c.inc()
+        c.inc(2)
+        assert c.value == 3.0
+
+    def test_label_values_coerced_to_str(self):
+        g = Gauge("g", "help", ("rank",))
+        g.labels(0).set(1.5)
+        assert g.labels("0").value == 1.5
+
+
+class TestHistogram:
+    def test_le_semantics_boundary_lands_in_its_bucket(self):
+        h = Histogram("h", "help", (1.0, 5.0))
+        h.observe(1.0)  # le="1.0" bucket (Prometheus le is <=)
+        h.observe(0.5)
+        h.observe(3.0)
+        h.observe(100.0)  # +Inf slot
+        assert h._default.counts == [2, 1, 1]
+        assert h._default.count == 4
+        assert h._default.sum == pytest.approx(104.5)
+
+    def test_observe_rejects_non_finite(self):
+        h = Histogram("h", "help", (1.0,))
+        with pytest.raises(ValueError, match="finite"):
+            h.observe(float("nan"))
+
+    def test_sample_row_carries_bucket_doc(self):
+        h = Histogram("h", "help", (1.0, 5.0))
+        h.observe(0.5)
+        h.observe(7.0)
+        (row,) = h.samples()
+        assert row["value"] == 2.0
+        assert row["doc"] == {
+            "buckets": [[1.0, 1], [5.0, 0]],
+            "inf": 1,
+            "sum": 7.5,
+            "count": 2,
+        }
+
+
+class TestSnapshots:
+    def test_samples_sorted_by_label_not_first_seen(self):
+        c = Counter("c_total", "help", ("event",))
+        c.labels("zeta").inc()
+        c.labels("alpha").inc(2)
+        rows = list(c.samples())
+        assert [r["labels"]["event"] for r in rows] == ["alpha", "zeta"]
+
+    def test_registry_snapshot_sorted_by_name(self):
+        r = MetricsRegistry()
+        r.gauge("z_gauge", "help").set(1)
+        r.counter("a_total", "help").inc()
+        assert [row["name"] for row in r.snapshot()] == ["a_total", "z_gauge"]
+
+    def test_volatile_families_excluded_by_default(self):
+        r = MetricsRegistry()
+        r.counter("kept_total", "help").inc()
+        r.gauge("wall_seconds", "help", volatile=True).set(12.5)
+        names = {row["name"] for row in r.snapshot()}
+        assert names == {"kept_total"}
+        names = {row["name"] for row in r.snapshot(include_volatile=True)}
+        assert names == {"kept_total", "wall_seconds"}
+
+    def test_lookup_api(self):
+        r = MetricsRegistry()
+        c = r.counter("c_total", "help")
+        assert r.get("c_total") is c
+        assert "c_total" in r and "missing" not in r
+        assert len(r) == 1

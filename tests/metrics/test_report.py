@@ -1,0 +1,140 @@
+"""The HTML campaign report: structure, sections, determinism."""
+
+from __future__ import annotations
+
+from html.parser import HTMLParser
+
+import pytest
+
+from repro.campaign.engine import run_campaign
+from repro.campaign.spec import ExperimentSpec
+from repro.db import CampaignDB, DbResultStore
+from repro.memory.machine import tiny_test_machine
+from repro.metrics.report import render_report, write_report
+from repro.runtime import presets
+
+# HTML void elements; SVG elements self-close with "/>" and go through
+# handle_startendtag, so they never belong here.
+_VOID = {"meta", "br", "hr", "img", "link", "input"}
+
+
+class _Checker(HTMLParser):
+    """Fails on mismatched tags; counts elements of interest."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.stack: list[str] = []
+        self.counts: dict[str, int] = {}
+
+    def handle_starttag(self, tag, attrs):
+        self.counts[tag] = self.counts.get(tag, 0) + 1
+        if tag not in _VOID:
+            self.stack.append(tag)
+
+    def handle_startendtag(self, tag, attrs):
+        # <line .../> and friends: count, but never touch the stack.
+        self.counts[tag] = self.counts.get(tag, 0) + 1
+
+    def handle_endtag(self, tag):
+        assert self.stack and self.stack[-1] == tag, (
+            f"mismatched </{tag}>, open stack {self.stack[-5:]}"
+        )
+        self.stack.pop()
+
+
+def check_html(text: str) -> dict[str, int]:
+    checker = _Checker()
+    checker.feed(text)
+    assert not checker.stack, f"unclosed tags: {checker.stack}"
+    return checker.counts
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    """A small two-config sweep campaign with one injected failure."""
+    path = tmp_path_factory.mktemp("report") / "camp.sqlite"
+    base = ExperimentSpec(
+        app="lulesh",
+        config=presets.mpc_omp(tiny_test_machine(4), n_threads=4),
+        params={"s": 6, "iterations": 1, "tpl": 2},
+    )
+    alt = ExperimentSpec(
+        app="lulesh",
+        config=presets.llvm_like(tiny_test_machine(4), n_threads=4),
+        params={"s": 6, "iterations": 1, "tpl": 2},
+    )
+    specs = [s.with_params(tpl=t) for s in (base, alt) for t in (2, 4, 8)]
+    out = run_campaign(specs, store=path, campaign="rep", snapshot_every=2)
+    assert out.ok
+    failed = base.with_params(tpl=64)
+    cache = DbResultStore(path, campaign="rep")
+    cache.put_error(failed, "Traceback (most recent call last)\nBoom: nope")
+    cache.db.close()
+    return path
+
+
+class TestRenderReport:
+    def test_html_is_well_formed(self, store):
+        with CampaignDB(store) as db:
+            counts = check_html(render_report(db))
+        assert counts["svg"] >= 1
+        assert counts["table"] >= 2
+        assert counts["title"] > 1  # page title + SVG hover tooltips
+
+    def test_sections_present(self, store):
+        with CampaignDB(store) as db:
+            text = render_report(db)
+        assert "makespan sweep" in text
+        assert "Discovery-counter deltas" in text
+        assert "Failed runs" in text
+        assert "Metrics snapshot" in text
+        assert "Boom: nope" in text
+        assert "table view" in text  # every chart has a table fallback
+
+    def test_legend_for_two_configs(self, store):
+        with CampaignDB(store) as db:
+            text = render_report(db)
+        assert 'class="legend"' in text
+        assert "mpc-omp" in text and "llvm" in text
+
+    def test_kpi_tiles_read_metric_snapshots(self, store):
+        with CampaignDB(store) as db:
+            text = render_report(db)
+        assert "Executed" in text and "Cache hits" in text
+        assert "Hit rate" in text
+
+    def test_render_is_byte_deterministic(self, store):
+        with CampaignDB(store) as db:
+            a = render_report(db)
+            b = render_report(db)
+        with CampaignDB(store) as db:
+            c = render_report(db)
+        assert a == b == c
+
+    def test_no_wall_clock_content(self, store):
+        # Volatile (wall-clock) families must never reach the report.
+        with CampaignDB(store) as db:
+            text = render_report(db)
+        assert "repro_campaign_run_wall_seconds" not in text
+        assert "repro_campaign_eta_seconds" not in text
+        assert "repro_campaign_elapsed_seconds" not in text
+        assert "repro_campaign_throughput_runs_per_second" not in text
+
+    def test_campaign_filter(self, store):
+        with CampaignDB(store) as db:
+            text = render_report(db, campaign="rep")
+        assert "Campaign report — rep" in text
+
+    def test_empty_store_still_renders(self, tmp_path):
+        with CampaignDB(tmp_path / "empty.sqlite") as db:
+            db.conn  # create schema
+            text = render_report(db)
+        check_html(text)
+        assert "Stored runs" in text
+
+    def test_write_report(self, store, tmp_path):
+        out = write_report(store, tmp_path / "report.html")
+        text = out.read_text()
+        assert text.startswith("<!DOCTYPE html>")
+        with CampaignDB(store) as db:
+            assert text == render_report(db)

@@ -292,3 +292,166 @@ class TestQueryCommand:
         assert doc["db"]["tables"] == table_inventory()
         assert main(["info"]) == 0
         assert "repro.db" in capsys.readouterr().out
+
+
+class TestMetricsCommand:
+    def _build(self, tmp_path, campaign="m1", snapshot_every="1"):
+        """A store with persisted metric snapshots from a tiny campaign."""
+        specfile = TestCampaignCommand.specfile(tmp_path)
+        store = tmp_path / "store.sqlite"
+        argv = ["campaign", str(specfile), "--db", str(store),
+                "--campaign-id", campaign, "--json"]
+        if snapshot_every:
+            argv += ["--snapshot-every", snapshot_every]
+        assert main(argv) == 0
+        return specfile, store
+
+    def test_export_validates_as_exposition(self, tmp_path, capsys):
+        from repro.metrics.prometheus import validate_exposition
+
+        _, store = self._build(tmp_path)
+        capsys.readouterr()
+        assert main(["metrics", "export", str(store)]) == 0
+        text = capsys.readouterr().out
+        fams = validate_exposition(text)
+        assert fams["repro_campaign_runs_total"]["type"] == "counter"
+        assert fams["repro_campaign_makespan_seconds"]["type"] == "histogram"
+        # volatile wall-clock families never reach the export
+        assert "repro_campaign_eta_seconds" not in fams
+        assert "repro_campaign_run_wall_seconds" not in fams
+
+    def test_export_to_file(self, tmp_path, capsys):
+        _, store = self._build(tmp_path)
+        out = tmp_path / "metrics.prom"
+        assert main(["metrics", "export", str(store), "-o", str(out)]) == 0
+        assert "repro_campaign_specs 2" in out.read_text()
+
+    def test_export_snapshot_selection(self, tmp_path, capsys):
+        _, store = self._build(tmp_path)
+        capsys.readouterr()
+        assert main(["metrics", "export", str(store), "--snapshot", "1"]) == 0
+        first = capsys.readouterr().out
+        # after one settled run, exactly one run event has fired
+        assert 'repro_campaign_runs_total{event="done"} 1' in first
+        assert main(["metrics", "export", str(store), "--snapshot", "2"]) == 0
+        assert 'repro_campaign_runs_total{event="done"} 2' \
+            in capsys.readouterr().out
+
+    def test_export_identical_campaigns_byte_identical(self, tmp_path, capsys):
+        exports = []
+        for sub in ("a", "b"):
+            d = tmp_path / sub
+            d.mkdir()
+            _, store = self._build(d)
+            capsys.readouterr()
+            assert main(["metrics", "export", str(store)]) == 0
+            exports.append(capsys.readouterr().out)
+        assert exports[0] == exports[1]
+
+    def test_empty_store_is_error_not_traceback(self, tmp_path, capsys):
+        from repro.db import CampaignDB
+
+        store = tmp_path / "empty.sqlite"
+        with CampaignDB(store) as db:
+            db.conn
+        rc = main(["metrics", "export", str(store)])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_serve_scrape_round_trip(self, tmp_path, capsys):
+        import socket
+        import threading
+        import time as _time
+        import urllib.request
+
+        _, store = self._build(tmp_path)
+        with socket.socket() as s:
+            s.bind(("127.0.0.1", 0))
+            port = s.getsockname()[1]
+        t = threading.Thread(
+            target=main,
+            args=(["metrics", "serve", str(store), "--port", str(port)],),
+            daemon=True,
+        )
+        t.start()
+        body = None
+        for _ in range(50):
+            try:
+                with urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/metrics", timeout=1
+                ) as resp:
+                    assert resp.headers["Content-Type"].startswith(
+                        "text/plain; version=0.0.4"
+                    )
+                    body = resp.read().decode()
+                break
+            except OSError:
+                _time.sleep(0.05)
+        assert body is not None and "repro_campaign_specs 2" in body
+
+    def test_campaign_live_writes_status_to_stderr(self, tmp_path, capsys):
+        specfile = TestCampaignCommand.specfile(tmp_path)
+        rc = main(["campaign", str(specfile), "--live",
+                   "--cache-dir", str(tmp_path / "cache")])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "2/2" in err
+        assert "hit" in err and "busy" in err
+
+    def test_resume_with_metrics_adds_no_result_rows(self, tmp_path, capsys):
+        from repro.db import CampaignDB
+
+        specfile, store = self._build(tmp_path)
+        capsys.readouterr()
+        with CampaignDB(store) as db:
+            before = db.table_counts()
+        assert main(["campaign", str(specfile), "--db", str(store),
+                     "--campaign-id", "m1", "--snapshot-every", "1",
+                     "--json"]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["n_cached"] == 2 and out["n_executed"] == 0
+        with CampaignDB(store) as db:
+            after = db.table_counts()
+        # resume rewrites the same metric snapshot ids in place (REPLACE
+        # on the same keys) and adds nothing anywhere else
+        assert after == before
+
+
+class TestReportCommand:
+    def test_report_renders_store(self, tmp_path, capsys):
+        specfile = TestCampaignCommand.specfile(tmp_path)
+        store = tmp_path / "store.sqlite"
+        assert main(["campaign", str(specfile), "--db", str(store),
+                     "--campaign-id", "r1", "--json"]) == 0
+        out = tmp_path / "report.html"
+        capsys.readouterr()
+        assert main(["report", str(store), "-o", str(out)]) == 0
+        assert str(out) in capsys.readouterr().err
+        text = out.read_text()
+        assert text.startswith("<!DOCTYPE html>")
+        assert "makespan sweep" in text
+        assert "Campaign report" in text
+
+    def test_missing_store_is_error_not_traceback(self, tmp_path, capsys):
+        rc = main(["report", str(tmp_path / "nope.sqlite"),
+                   "-o", str(tmp_path / "r.html")])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestInfoHookCatalogue:
+    def test_campaign_hooks_in_json(self, capsys):
+        from repro.campaign.bus import HOOKS
+
+        assert main(["info", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc["campaign_hooks"]) == set(HOOKS)
+        for entry in doc["campaign_hooks"].values():
+            assert entry["signature"].startswith("(")
+            assert entry["description"]
+
+    def test_campaign_hooks_in_text(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign bus hooks" in out
+        assert "run_cached" in out and "campaign_done" in out
